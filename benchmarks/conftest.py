@@ -1,0 +1,37 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+rows/series it reports, so ``pytest benchmarks/ --benchmark-only -s`` doubles
+as the reproduction script.  Set ``REPRO_FULL=1`` to run the full evaluation
+grid (all GPU scales, full 8192-trajectory batches); the default keeps each
+benchmark to a representative subset so the whole suite finishes in minutes.
+"""
+
+import json
+import os
+
+import pytest
+
+#: Full-fidelity switch (all scales / all systems).
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+#: Batch scale used for directly-simulated batch-synchronous systems.
+#: 1.0 reproduces the paper's 8192-trajectory batches.
+BATCH_SCALE = 1.0 if FULL else 0.25
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+                              warmup_rounds=0)
+
+
+def report(title, payload):
+    """Print a figure/table payload in a stable, readable JSON form."""
+    print(f"\n=== {title} ===")
+    print(json.dumps(payload, indent=2, default=str, sort_keys=True))
+
+
+@pytest.fixture
+def full_grid():
+    return FULL

@@ -1,0 +1,55 @@
+"""Fig 11 (a-c) and Fig 12: end-to-end training throughput, and the §8.1
+speedup / scaling-efficiency numbers derived from them."""
+
+import pytest
+
+from conftest import BATCH_SCALE, FULL, report, run_once
+
+from repro.experiments import (
+    MODEL_SCALES,
+    SYSTEMS,
+    scaling_efficiency_from_points,
+    speedup_table,
+    throughput_sweep,
+)
+
+#: Default (quick) grid: the smallest and largest scale per model size.
+QUICK_SCALES = {size: [scales[0], scales[-1]] for size, scales in MODEL_SCALES.items()}
+
+
+def _sweep(model_size, task_type="math"):
+    scales = MODEL_SCALES[model_size] if FULL else QUICK_SCALES[model_size]
+    return throughput_sweep(model_size, task_type=task_type, gpu_scales=scales,
+                            batch_scale=BATCH_SCALE)
+
+
+@pytest.mark.parametrize("model_size", ["7B", "32B", "72B"])
+def test_fig11_throughput_math(benchmark, model_size):
+    points = run_once(benchmark, _sweep, model_size)
+    rows = [p.as_dict() for p in points]
+    table = speedup_table(points)
+    report(f"Figure 11 ({model_size}, math) throughput [tokens/s]", rows)
+    report(f"Figure 11 ({model_size}) speedup over verl", table)
+    # Paper-shape checks: Laminar wins at the largest evaluated scale.
+    largest = max(p.total_gpus for p in points)
+    at_largest = {p.system: p.throughput for p in points if p.total_gpus == largest}
+    assert at_largest["laminar"] == max(at_largest.values())
+    assert at_largest["laminar"] / at_largest["verl"] > 1.3
+
+
+def test_fig11_scaling_efficiency(benchmark):
+    points = run_once(benchmark, _sweep, "7B")
+    efficiencies = {s: scaling_efficiency_from_points(points, s)
+                    for s in SYSTEMS if any(p.system == s for p in points)}
+    report("Section 8.1 strong-scaling efficiency (7B, math)", efficiencies)
+    assert efficiencies["laminar"] >= max(
+        v for k, v in efficiencies.items() if k != "laminar") - 0.05
+
+
+def test_fig12_throughput_tool(benchmark):
+    points = run_once(benchmark, _sweep, "7B", "tool")
+    report("Figure 12 (7B, tool-calling) throughput [tokens/s]",
+           [p.as_dict() for p in points])
+    largest = max(p.total_gpus for p in points)
+    at_largest = {p.system: p.throughput for p in points if p.total_gpus == largest}
+    assert at_largest["laminar"] == max(at_largest.values())

@@ -1,0 +1,52 @@
+"""Fig 1(b), Fig 2, Fig 4, Fig 17 and Fig 18: workload distributions, the
+decode-latency roofline, and the relay broadcast latency model."""
+
+from conftest import report, run_once
+
+from repro.experiments import (
+    figure1_time_breakdown,
+    figure2_distributions,
+    figure4_decode_latency,
+    figure17_length_distributions,
+    figure18_broadcast_latency,
+)
+
+
+def test_fig01_time_breakdown(benchmark):
+    breakdown = run_once(benchmark, figure1_time_breakdown, 1.0 / 8.0)
+    report("Figure 1(b) stage-time fractions (synchronous RL)", breakdown)
+    # Generation dominates the synchronous workflow on both task types.
+    for task_type, fractions in breakdown.items():
+        assert fractions["generation"] > fractions["training"]
+        assert fractions["generation"] > 0.4
+
+
+def test_fig02_distributions(benchmark):
+    stats = run_once(benchmark, figure2_distributions)
+    report("Figure 2 distribution statistics", stats)
+    assert stats["response_length"]["skew_p99_over_p50"] > 4.0
+    assert stats["env_latency"]["max"] <= 600.0
+
+
+def test_fig04_decode_latency(benchmark):
+    series = run_once(benchmark, figure4_decode_latency)
+    report("Figure 4 one-step decode latency [ms]", series)
+    for label, curve in series.items():
+        small, mid = curve[8], curve[64]
+        assert mid < 2.0 * small  # memory-bound: near-flat latency
+    assert series["32B, TP=8"][256] < series["32B, TP=2"][256]
+
+
+def test_fig17_length_distributions(benchmark):
+    stats = run_once(benchmark, figure17_length_distributions)
+    report("Figure 17 response-length statistics per checkpoint", stats)
+    for key, row in stats.items():
+        assert row["p99"] > 2 * row["p50"]
+
+
+def test_fig18_broadcast_latency(benchmark):
+    series = run_once(benchmark, figure18_broadcast_latency)
+    report("Figure 18 relay broadcast latency [s]", series)
+    # Near-constant in machine count; a couple of seconds for the 72B model.
+    assert series["72B"][128] < 2.5 * series["72B"][4]
+    assert series["72B"][128] < 6.0

@@ -1,0 +1,33 @@
+"""repro: reproduction of "Laminar: A Scalable Asynchronous RL Post-Training Framework".
+
+The package is organised as:
+
+* :mod:`repro.sim` — discrete-event simulation substrate (engine, cluster,
+  network, KVCache).
+* :mod:`repro.llm` — Qwen2.5 architecture specs and roofline latency models.
+* :mod:`repro.workload` — heavy-tailed response-length / environment-latency
+  workload generators and synthetic datasets.
+* :mod:`repro.data` — prompt pool, partial-response pool, experience buffer.
+* :mod:`repro.rollout` — the replica generation engine shared by every system.
+* :mod:`repro.trainer` — actor training cost model and iteration accounting.
+* :mod:`repro.core` — Laminar itself: relay workers, repack, rollout manager,
+  staleness tracking, fault tolerance, the end-to-end system.
+* :mod:`repro.baselines` — verl, one-step staleness, stream generation, AReaL.
+* :mod:`repro.algorithms` — GRPO / Decoupled PPO on a synthetic reasoning task.
+* :mod:`repro.experiments` — one driver per table/figure of the evaluation.
+"""
+
+from .config import SystemConfig, default_trainer_parallel
+from .types import Experience, Prompt, Trajectory, WeightVersion
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "default_trainer_parallel",
+    "Experience",
+    "Prompt",
+    "Trajectory",
+    "WeightVersion",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Numerical RL substrate: GRPO / Decoupled PPO on a synthetic reasoning task."""
+
+from .convergence import (
+    ConvergenceCurve,
+    ConvergencePoint,
+    SystemConvergenceProfile,
+    compare_systems,
+    convergence_speedup,
+    run_convergence,
+)
+from .grpo import (
+    DecoupledPPOTrainer,
+    GRPOConfig,
+    GRPOTrainer,
+    RolloutBatch,
+    generate_rollouts,
+    group_normalized_advantages,
+)
+from .policy import SoftmaxPolicy
+from .task import SyntheticReasoningTask
+
+__all__ = [
+    "ConvergenceCurve",
+    "ConvergencePoint",
+    "SystemConvergenceProfile",
+    "compare_systems",
+    "convergence_speedup",
+    "run_convergence",
+    "DecoupledPPOTrainer",
+    "GRPOConfig",
+    "GRPOTrainer",
+    "RolloutBatch",
+    "generate_rollouts",
+    "group_normalized_advantages",
+    "SoftmaxPolicy",
+    "SyntheticReasoningTask",
+]

@@ -1,0 +1,177 @@
+"""GRPO with Clip-Higher, plus PPO-style and decoupled variants.
+
+GRPO (Shao et al.) removes the critic by generating a *group* of responses per
+prompt and normalising rewards within the group to obtain advantages.  The
+evaluation uses GRPO with the asymmetric DAPO clipping range (Clip-Higher),
+and AReaL uses its Decoupled PPO objective to tolerate mixed-version
+trajectories.  All three are implemented over the softmax-linear policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .policy import SoftmaxPolicy
+from .task import SyntheticReasoningTask
+
+
+@dataclass
+class GRPOConfig:
+    """Hyperparameters (Table 3)."""
+
+    group_size: int = 16
+    learning_rate: float = 2.0
+    clip_low: float = 0.2
+    clip_high: float = 0.28
+    temperature: float = 1.0
+    num_minibatches: int = 4
+    advantage_eps: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.group_size <= 1:
+            raise ValueError("group_size must be at least 2")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.clip_low < 0 or self.clip_high < 0:
+            raise ValueError("clip ranges must be non-negative")
+        if self.num_minibatches <= 0:
+            raise ValueError("num_minibatches must be positive")
+
+
+def group_normalized_advantages(rewards: np.ndarray, group_size: int,
+                                eps: float = 1e-6) -> np.ndarray:
+    """GRPO advantages: per-group standardised rewards.
+
+    ``rewards`` must be laid out group-contiguously (all responses of prompt 0,
+    then prompt 1, ...).
+    """
+    if rewards.ndim != 1:
+        raise ValueError("rewards must be 1-D")
+    if len(rewards) % group_size != 0:
+        raise ValueError("rewards length must be a multiple of group_size")
+    grouped = rewards.reshape(-1, group_size)
+    mean = grouped.mean(axis=1, keepdims=True)
+    std = grouped.std(axis=1, keepdims=True)
+    advantages = (grouped - mean) / (std + eps)
+    return advantages.reshape(-1)
+
+
+@dataclass
+class RolloutBatch:
+    """A batch of (problem, strategy, reward, behaviour log-prob) samples."""
+
+    problem_ids: np.ndarray
+    strategies: np.ndarray
+    rewards: np.ndarray
+    behaviour_log_prob: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.problem_ids)
+
+
+def generate_rollouts(
+    task: SyntheticReasoningTask,
+    behaviour_policy: SoftmaxPolicy,
+    num_prompts: int,
+    config: GRPOConfig,
+    rng: np.random.Generator,
+    mixture_policy: Optional[SoftmaxPolicy] = None,
+    mixture_fraction: float = 0.0,
+) -> RolloutBatch:
+    """Sample a group-structured rollout batch from the behaviour policy.
+
+    ``mixture_policy``/``mixture_fraction`` model partial rollout: a fraction
+    of each trajectory's tokens were produced by a *different* policy version,
+    but the recorded behaviour log-prob (used for importance correction) is
+    taken from the nominal behaviour policy — exactly the mismatch that makes
+    mixed-version trajectories biased.
+    """
+    problem_ids = np.repeat(rng.integers(0, task.num_problems, num_prompts), config.group_size)
+    features = task.features[problem_ids]
+    strategies = behaviour_policy.sample(features, rng, config.temperature)
+    if mixture_policy is not None and mixture_fraction > 0:
+        switch = rng.random(len(strategies)) < mixture_fraction
+        alt = mixture_policy.sample(features, rng, config.temperature)
+        strategies = np.where(switch, alt, strategies)
+    rewards = task.sample_rewards(problem_ids, strategies, rng)
+    behaviour_log_prob = behaviour_policy.log_prob(features, strategies)
+    return RolloutBatch(problem_ids, strategies, rewards, behaviour_log_prob)
+
+
+class GRPOTrainer:
+    """Vanilla GRPO + Clip-Higher on the synthetic reasoning task."""
+
+    name = "grpo"
+
+    def __init__(self, task: SyntheticReasoningTask, config: Optional[GRPOConfig] = None,
+                 seed: int = 0) -> None:
+        self.task = task
+        self.config = config or GRPOConfig()
+        self.policy = SoftmaxPolicy(task.feature_dim, task.num_strategies)
+        self.rng = np.random.default_rng(seed)
+        self.updates = 0
+
+    def compute_advantages(self, batch: RolloutBatch) -> np.ndarray:
+        return group_normalized_advantages(
+            batch.rewards, self.config.group_size, self.config.advantage_eps
+        )
+
+    def update(self, batch: RolloutBatch) -> Dict[str, float]:
+        """One RL iteration: split the batch into mini-batches and step each."""
+        advantages = self.compute_advantages(batch)
+        features = self.task.features[batch.problem_ids]
+        indices = np.arange(len(batch))
+        stats: Dict[str, float] = {}
+        for chunk in np.array_split(indices, self.config.num_minibatches):
+            if len(chunk) == 0:
+                continue
+            grad, step_stats = self.policy.surrogate_gradient(
+                features[chunk],
+                batch.strategies[chunk],
+                advantages[chunk],
+                batch.behaviour_log_prob[chunk],
+                clip_low=self.config.clip_low,
+                clip_high=self.config.clip_high,
+            )
+            self.policy.apply_gradient(grad, self.config.learning_rate)
+            stats = step_stats
+        self.updates += 1
+        stats["mean_reward"] = float(batch.rewards.mean())
+        stats["policy_reward"] = self.policy.mean_reward(self.task)
+        return stats
+
+
+class DecoupledPPOTrainer(GRPOTrainer):
+    """AReaL's Decoupled PPO: importance correction against a proximal policy.
+
+    The behaviour distribution of a mixed-version trajectory is unknown, so
+    Decoupled PPO recomputes log-probs under a *proximal* policy (a recent
+    snapshot) and clips against it, which removes part — but not all — of the
+    bias introduced by partial rollouts.
+    """
+
+    name = "decoupled_ppo"
+
+    def __init__(self, task: SyntheticReasoningTask, config: Optional[GRPOConfig] = None,
+                 seed: int = 0, proximal_refresh: int = 1) -> None:
+        super().__init__(task, config, seed)
+        self.proximal_policy = self.policy.copy()
+        self.proximal_refresh = max(1, proximal_refresh)
+
+    def update(self, batch: RolloutBatch) -> Dict[str, float]:
+        features = self.task.features[batch.problem_ids]
+        # Re-evaluate the behaviour log-prob under the proximal policy.
+        proximal_log_prob = self.proximal_policy.log_prob(features, batch.strategies)
+        corrected = RolloutBatch(
+            problem_ids=batch.problem_ids,
+            strategies=batch.strategies,
+            rewards=batch.rewards,
+            behaviour_log_prob=proximal_log_prob,
+        )
+        stats = super().update(corrected)
+        if self.updates % self.proximal_refresh == 0:
+            self.proximal_policy = self.policy.copy()
+        return stats

@@ -1,0 +1,38 @@
+"""Baseline RL post-training systems from §8: verl, one-step, stream, AReaL."""
+
+from .base import BaselineSystem, COLOCATED_SWITCH_OVERHEAD, GenerationOutcome
+from .verl_sync import VerlSynchronous
+from .one_step import OneStepStaleness
+from .stream_gen import StreamGeneration
+from .partial_rollout import PartialRollout
+
+BASELINE_REGISTRY = {
+    "verl": VerlSynchronous,
+    "one_step": OneStepStaleness,
+    "stream_gen": StreamGeneration,
+    "areal": PartialRollout,
+}
+
+
+def make_baseline(config) -> BaselineSystem:
+    """Instantiate the baseline simulator matching ``config.system``."""
+    try:
+        cls = BASELINE_REGISTRY[config.system]
+    except KeyError:
+        raise KeyError(
+            f"unknown baseline {config.system!r}; known: {sorted(BASELINE_REGISTRY)}"
+        ) from None
+    return cls(config)
+
+
+__all__ = [
+    "BaselineSystem",
+    "COLOCATED_SWITCH_OVERHEAD",
+    "GenerationOutcome",
+    "VerlSynchronous",
+    "OneStepStaleness",
+    "StreamGeneration",
+    "PartialRollout",
+    "BASELINE_REGISTRY",
+    "make_baseline",
+]

@@ -1,0 +1,67 @@
+"""One-step staleness pipeline baseline (Fig 3b).
+
+Actor and rollouts live on disjoint GPU sets.  While the actor trains on the
+batch generated during the previous iteration, the rollouts generate the next
+batch with the previous weights (k = 1 bounded staleness).  At the end of the
+iteration a blocking GPU-direct global weight synchronization distributes the
+new weights to every rollout.
+
+Iteration time therefore is ``max(generation, training) + global_sync`` — the
+pipeline hides whichever stage is shorter, but the generation stage still ends
+only when the slowest long-tail trajectory finishes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..metrics.results import StageBreakdown, SystemRunResult
+from .base import BaselineSystem
+
+
+class OneStepStaleness(BaselineSystem):
+    """k=1 bounded-staleness pipelined RL training."""
+
+    name = "one_step"
+
+    def run(self, num_iterations: Optional[int] = None) -> SystemRunResult:
+        num_iterations = num_iterations or self.config.num_iterations
+        result = self.new_result()
+        clock = 0.0
+        sync_time = self.global_sync_time()
+
+        # Pipeline fill: generate the first batch before training can start.
+        outcome = self.generate_full_batch(weight_version=0)
+        clock += outcome.duration + sync_time
+        self.score_and_buffer(outcome.trajectories, self.trainer.weight_version)
+
+        for _ in range(num_iterations):
+            start = clock
+            batch = self.buffer.sample(self.config.global_batch_size)
+            tokens = sum(exp.tokens for exp in batch)
+            train_time = self.trainer.iteration_compute_time(tokens)
+
+            # Concurrently, rollouts generate the next batch with the current
+            # (pre-update) weights.
+            outcome = self.generate_full_batch(self.trainer.weight_version)
+
+            stage_time = max(train_time, outcome.duration)
+            clock += stage_time + sync_time
+            record = self.trainer.record_iteration(batch, start, clock)
+            # The freshly generated batch becomes visible only now, after the
+            # global synchronization barrier.
+            self.score_and_buffer(outcome.trajectories, self.trainer.weight_version)
+
+            result.iterations.append(record)
+            result.breakdowns.append(
+                StageBreakdown(
+                    generation_time=outcome.duration,
+                    training_time=train_time,
+                    weight_sync_time=sync_time,
+                    bubble_time=outcome.bubble_time + max(0.0, stage_time - outcome.duration),
+                )
+            )
+            result.staleness_samples.extend(exp.staleness for exp in batch)
+        result.wall_clock = clock
+        result.extras["global_sync_time"] = sync_time
+        return result

@@ -1,0 +1,170 @@
+"""AReaL-style partial-rollout baseline (Fig 3d).
+
+Rollouts generate continuously at full concurrency (no per-iteration barrier),
+and the trainer consumes a global batch from the experience buffer whenever
+enough trajectories have completed.  Whenever the actor publishes new weights,
+every rollout is interrupted: all in-flight trajectories switch to the new
+policy version mid-generation, which requires rebuilding (re-prefilling) their
+KVCache.  A single trajectory may therefore mix several policy versions
+(``Trajectory.versions_used``), the re-prefill storm costs GPU time on every
+iteration, and the trajectory staleness is unbounded.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..metrics.results import StageBreakdown, SystemRunResult
+from ..rollout.generation import ReplicaGenerationState
+from ..types import Trajectory
+from .base import BaselineSystem
+
+
+class PartialRollout(BaselineSystem):
+    """Continuous generation with pause-and-sync partial rollouts (AReaL)."""
+
+    name = "areal"
+
+    #: Simulation round length (seconds) for advancing all replicas in lockstep.
+    round_length: float = 20.0
+    #: Bound on run-ahead: stop admitting new prompts once the buffered plus
+    #: in-flight trajectories exceed this many global batches.  Keeps staleness
+    #: (and the simulated warm-up transient) bounded, mirroring the data
+    #: freshness controls production systems apply on top of partial rollout.
+    run_ahead_batches: float = 3.0
+
+    def __init__(self, config) -> None:
+        super().__init__(config)
+        self.replicas: List[ReplicaGenerationState] = []
+        self._target_inflight = 0
+
+    # ------------------------------------------------------------------ helpers
+    def _concurrency_target(self) -> int:
+        """How many sequences to keep queued+in-flight per replica.
+
+        Enough to keep the KVCache saturated (so freed space is refilled
+        immediately) without building an unbounded waiting queue.
+        """
+        if self._target_inflight:
+            return self._target_inflight
+        kv_tokens = self.replica_config.kvcache_config().total_tokens
+        mean_reserved = self.task.length_dist.mean() + 512.0
+        capacity = max(1, int(kv_tokens / mean_reserved))
+        self._target_inflight = min(
+            self.config.max_concurrency_per_replica, int(capacity * 1.3) + 1
+        )
+        return self._target_inflight
+
+    def _run_ahead_budget(self) -> int:
+        """Trajectories that may still be admitted before hitting the run-ahead cap."""
+        in_flight = sum(r.num_sequences for r in self.replicas)
+        # Never starve the natural generation pipeline: each replica may always
+        # hold a bit more than its concurrency target.
+        pipeline_floor = int(1.25 * len(self.replicas) * self._concurrency_target())
+        cap = max(int(self.run_ahead_batches * self.config.global_batch_size), pipeline_floor)
+        return max(0, cap - in_flight - len(self.buffer))
+
+    def _top_up(self, replica: ReplicaGenerationState) -> None:
+        deficit = self._concurrency_target() - replica.num_sequences
+        deficit = min(deficit, self._run_ahead_budget())
+        if deficit <= 0:
+            return
+        prompts = self.dataset.sample_batch(
+            max(1, -(-deficit // self.task.group_size)), self.rng
+        )[:deficit]
+        states = self.factory.make(prompts, weight_version=replica.weight_version)
+        replica.add_sequences(states)
+
+    def _advance_all(self, dt: float) -> List[Trajectory]:
+        completed: List[Trajectory] = []
+        for replica in self.replicas:
+            completed.extend(replica.advance(dt))
+            self._top_up(replica)
+        return completed
+
+    def _align_clocks(self) -> float:
+        """Bring every replica to the same wall-clock (idle-padding stragglers)."""
+        latest = max(r.clock for r in self.replicas)
+        for replica in self.replicas:
+            gap = latest - replica.clock
+            if gap > 1e-9:
+                replica.inject_stall(gap, busy=False)
+        return latest
+
+    # ------------------------------------------------------------------ main loop
+    def run(self, num_iterations: Optional[int] = None) -> SystemRunResult:
+        num_iterations = num_iterations or self.config.num_iterations
+        result = self.new_result()
+        sync_time = self.global_sync_time()
+
+        self.replicas = self.make_replicas(self.num_generation_replicas(), weight_version=0)
+        for replica in self.replicas:
+            self._top_up(replica)
+
+        clock = 0.0
+        total_reprefill_stall = 0.0
+        for _ in range(num_iterations):
+            iteration_start = clock
+            # --- accumulate a global batch of completed trajectories ------------
+            batch_ready_time = clock
+            while not self.buffer.can_sample(self.config.global_batch_size):
+                completed = self._advance_all(self.round_length)
+                clock += self.round_length
+                for trajectory in completed:
+                    reward = self.environment.score(trajectory)
+                    self.buffer.write(trajectory, reward, self.trainer.weight_version)
+                if completed and self.buffer.can_sample(self.config.global_batch_size):
+                    # The batch became ready somewhere inside this round: use
+                    # the precise completion timestamp of the last trajectory
+                    # needed rather than the round boundary.
+                    needed = sorted(t.finish_time for t in completed)
+                    batch_ready_time = needed[-1]
+            batch_ready_time = max(batch_ready_time, iteration_start)
+
+            batch = self.buffer.sample(self.config.global_batch_size)
+            tokens = sum(exp.tokens for exp in batch)
+            train_time = self.trainer.iteration_compute_time(tokens)
+            update_done = batch_ready_time + train_time
+
+            # Generation continues during training; advance replicas up to the
+            # moment the new weights land, then pay the pause-and-sync cycle.
+            self._align_clocks()
+            remaining = update_done - self.replicas[0].clock
+            if remaining > 0:
+                completed = self._advance_all(remaining)
+                for trajectory in completed:
+                    reward = self.environment.score(trajectory)
+                    self.buffer.write(trajectory, reward, self.trainer.weight_version)
+            clock = self._align_clocks()
+            clock = max(clock, update_done)
+
+            record = self.trainer.record_iteration(batch, iteration_start, clock)
+
+            # --- partial rollout: interrupt, sync weights, re-prefill -----------
+            reprefill_stall = 0.0
+            for replica in self.replicas:
+                replica.inject_stall(sync_time, busy=False)
+                reprefill_stall += replica.reprefill_all_inflight()
+                replica.set_weight_version(self.trainer.weight_version)
+            clock = self._align_clocks()
+            total_reprefill_stall += reprefill_stall
+
+            result.iterations.append(record)
+            result.breakdowns.append(
+                StageBreakdown(
+                    generation_time=record.duration,
+                    training_time=train_time,
+                    weight_sync_time=sync_time,
+                    bubble_time=reprefill_stall / max(1, len(self.replicas)),
+                )
+            )
+            result.staleness_samples.extend(exp.staleness for exp in batch)
+            result.extras["mixed_version_fraction"] = float(
+                np.mean([exp.trajectory.mixed_versions for exp in batch])
+            )
+        result.wall_clock = clock
+        result.extras["global_sync_time"] = sync_time
+        result.extras["total_reprefill_stall"] = total_reprefill_stall
+        return result

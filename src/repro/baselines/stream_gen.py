@@ -1,0 +1,80 @@
+"""Stream-generation baseline (Fig 3c).
+
+Like the one-step pipeline, actor and rollouts are disaggregated, but the
+actor starts training on the *current* batch's early mini-batches (built from
+the trajectories that complete first) while the long-tail trajectories of the
+same batch are still being generated.  The trainer's progress is therefore
+tied to the completion of each fraction of the batch; the final mini-batch
+still waits for the very slowest trajectory, and the global weight
+synchronization still couples every rollout at the iteration boundary.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..metrics.results import StageBreakdown, SystemRunResult
+from .base import BaselineSystem
+
+
+class StreamGeneration(BaselineSystem):
+    """Streaming mini-batch consumption with a global sync per iteration."""
+
+    name = "stream_gen"
+
+    def run(self, num_iterations: Optional[int] = None) -> SystemRunResult:
+        num_iterations = num_iterations or self.config.num_iterations
+        result = self.new_result()
+        clock = 0.0
+        sync_time = self.global_sync_time()
+        num_minibatches = self.config.num_minibatches
+        minibatch_trajs = self.config.global_batch_size // num_minibatches
+
+        for _ in range(num_iterations):
+            start = clock
+            outcome = self.generate_full_batch(self.trainer.weight_version)
+            # Completion times of the batch's trajectories relative to the
+            # iteration start, sorted ascending (short trajectories first —
+            # exactly the order the streaming trainer consumes them in).
+            completion_times = sorted(t.finish_time for t in outcome.trajectories)
+            tokens_by_completion = [
+                t.total_tokens for t in sorted(outcome.trajectories, key=lambda t: t.finish_time)
+            ]
+
+            # Mini-batch pipeline recurrence: mini-batch j can start training
+            # once (j+1) * minibatch_trajs trajectories have completed and the
+            # previous mini-batch has finished its optimizer step.
+            train_cursor = 0.0
+            total_train_time = 0.0
+            for j in range(num_minibatches):
+                ready_index = min(len(completion_times), (j + 1) * minibatch_trajs) - 1
+                data_ready = completion_times[ready_index]
+                mb_tokens = sum(
+                    tokens_by_completion[j * minibatch_trajs : (j + 1) * minibatch_trajs]
+                )
+                mb_time = self.trainer.minibatch_time(mb_tokens)
+                train_cursor = max(train_cursor, data_ready) + mb_time
+                total_train_time += mb_time
+
+            iteration_span = train_cursor + sync_time
+            clock += iteration_span
+
+            self.score_and_buffer(outcome.trajectories, self.trainer.weight_version)
+            batch = self.buffer.sample(self.config.global_batch_size)
+            record = self.trainer.record_iteration(batch, start, clock)
+
+            result.iterations.append(record)
+            result.breakdowns.append(
+                StageBreakdown(
+                    generation_time=outcome.duration,
+                    training_time=total_train_time,
+                    weight_sync_time=sync_time,
+                    bubble_time=outcome.bubble_time,
+                )
+            )
+            result.staleness_samples.extend(exp.staleness for exp in batch)
+        result.wall_clock = clock
+        result.extras["global_sync_time"] = sync_time
+        return result

@@ -1,0 +1,49 @@
+"""Synchronous colocated baseline (verl v0.5 with HybridEngine placement).
+
+All GPUs alternate between the generation and training stages (§2.2, Fig 3a):
+generate the full global batch, switch the engines, train on it, switch back.
+Stage times add up, and the generation stage ends only when the single slowest
+long-tail trajectory completes — the bubbles Laminar removes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..metrics.results import StageBreakdown, SystemRunResult
+from .base import BaselineSystem, COLOCATED_SWITCH_OVERHEAD
+
+
+class VerlSynchronous(BaselineSystem):
+    """Fully synchronous, on-policy, colocated RL training."""
+
+    name = "verl"
+
+    def run(self, num_iterations: Optional[int] = None) -> SystemRunResult:
+        num_iterations = num_iterations or self.config.num_iterations
+        result = self.new_result()
+        clock = 0.0
+        for _ in range(num_iterations):
+            start = clock
+            # --- generation stage: all GPUs act as rollout replicas ------------
+            outcome = self.generate_full_batch(self.trainer.weight_version)
+            clock += outcome.duration + COLOCATED_SWITCH_OVERHEAD
+            # --- training stage: same GPUs switch to the actor -----------------
+            self.score_and_buffer(outcome.trajectories, self.trainer.weight_version)
+            batch = self.buffer.sample(self.config.global_batch_size)
+            tokens = sum(exp.tokens for exp in batch)
+            train_time = self.trainer.iteration_compute_time(tokens)
+            clock += train_time + COLOCATED_SWITCH_OVERHEAD
+            record = self.trainer.record_iteration(batch, start, clock)
+            result.iterations.append(record)
+            result.breakdowns.append(
+                StageBreakdown(
+                    generation_time=outcome.duration,
+                    training_time=train_time,
+                    weight_sync_time=2 * COLOCATED_SWITCH_OVERHEAD,
+                    bubble_time=outcome.bubble_time,
+                )
+            )
+            result.staleness_samples.extend(exp.staleness for exp in batch)
+        result.wall_clock = clock
+        return result

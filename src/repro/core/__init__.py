@@ -1,0 +1,62 @@
+"""Laminar core: relays, repack, staleness, fault tolerance, the full system."""
+
+from .broadcast_model import (
+    BroadcastBreakdown,
+    broadcast_breakdown,
+    broadcast_latency,
+    figure18_series,
+    optimal_broadcast_latency,
+    optimal_chunks,
+    rollout_wait_comparison,
+    storage_vs_relay,
+)
+from .fault_tolerance import (
+    FailureEvent,
+    FailureInjector,
+    FailureKind,
+    RecoveryModel,
+    RecoveryRecord,
+)
+from .laminar import LaminarSystem
+from .relay import PullRecord, RelayService, WeightPublication
+from .repack import (
+    RepackExecutor,
+    RepackPlan,
+    RepackStats,
+    ReplicaSnapshot,
+    best_fit_consolidation,
+    group_by_version,
+    plan_repack,
+)
+from .rollout_manager import RolloutManager
+from .staleness import StalenessSample, StalenessTracker
+
+__all__ = [
+    "BroadcastBreakdown",
+    "broadcast_breakdown",
+    "broadcast_latency",
+    "figure18_series",
+    "optimal_broadcast_latency",
+    "optimal_chunks",
+    "rollout_wait_comparison",
+    "storage_vs_relay",
+    "FailureEvent",
+    "FailureInjector",
+    "FailureKind",
+    "RecoveryModel",
+    "RecoveryRecord",
+    "LaminarSystem",
+    "PullRecord",
+    "RelayService",
+    "WeightPublication",
+    "RepackExecutor",
+    "RepackPlan",
+    "RepackStats",
+    "ReplicaSnapshot",
+    "best_fit_consolidation",
+    "group_by_version",
+    "plan_repack",
+    "RolloutManager",
+    "StalenessSample",
+    "StalenessTracker",
+]

@@ -1,0 +1,62 @@
+"""Prompt pool: supplies initial states (questions) for rollout generation.
+
+Runs conceptually on a CPU machine (§3.1) so it survives GPU failures.  In the
+reproduction it is an in-memory queue that rollout replicas draw batches from;
+when it runs low it refills itself from the :class:`~repro.workload.PromptDataset`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from ..types import Prompt
+from ..workload.datasets import PromptDataset
+
+
+class PromptPool:
+    """FIFO pool of prompts with automatic refill from a dataset."""
+
+    def __init__(
+        self,
+        dataset: PromptDataset,
+        rng: Optional[np.random.Generator] = None,
+        refill_prompts: int = 512,
+        low_watermark: int = 1024,
+    ) -> None:
+        if refill_prompts <= 0:
+            raise ValueError("refill_prompts must be positive")
+        if low_watermark < 0:
+            raise ValueError("low_watermark must be non-negative")
+        self.dataset = dataset
+        self.rng = rng or np.random.default_rng(dataset.seed + 1)
+        self.refill_prompts = refill_prompts
+        self.low_watermark = low_watermark
+        self._queue: Deque[Prompt] = deque()
+        self.total_supplied = 0
+        self._refill()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def _refill(self) -> None:
+        batch = self.dataset.sample_batch(self.refill_prompts, self.rng)
+        self._queue.extend(batch)
+
+    def take(self, count: int) -> List[Prompt]:
+        """Remove and return up to ``count`` prompts (refilling as needed)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        while len(self._queue) < count or len(self._queue) < self.low_watermark:
+            self._refill()
+        taken = [self._queue.popleft() for _ in range(count)]
+        self.total_supplied += len(taken)
+        return taken
+
+    def put_back(self, prompts: List[Prompt]) -> None:
+        """Return prompts to the head of the pool (e.g. after a failed replica)."""
+        for prompt in reversed(prompts):
+            self._queue.appendleft(prompt)
+        self.total_supplied -= len(prompts)

@@ -1,0 +1,179 @@
+"""GPU placements from Table 2 and rollout parallelism from Appendix A.2.
+
+Table 2 lists, for every (system, model size, total GPU count), how many GPUs
+serve the trainer and how many serve rollouts.  verl uses colocation (all GPUs
+alternate between the two stages).  The rollout tensor-parallel size also
+follows the appendix: TP=1 for the 7B model in AReaL/Laminar, TP=2 for the 7B
+model in the other systems, TP=4 for 32B and TP=8 for 72B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..config import SystemConfig, default_trainer_parallel
+
+#: Canonical system identifiers.
+SYSTEMS = ("verl", "one_step", "stream_gen", "areal", "laminar")
+
+SYSTEM_LABELS = {
+    "verl": "verl (synchronous, colocated)",
+    "one_step": "One-step Staleness",
+    "stream_gen": "Stream Generation",
+    "areal": "AReaL (partial rollout)",
+    "laminar": "Laminar",
+}
+
+#: Table 2 — (train GPUs, rollout GPUs) per (system, model, total GPUs).
+#: verl entries are colocated: (total, 0).
+PLACEMENTS: Dict[Tuple[str, str, int], Tuple[int, int]] = {
+    # ---- verl (colocated) ----
+    **{("verl", "7B", n): (n, 0) for n in (16, 32, 64, 128, 256)},
+    **{("verl", "32B", n): (n, 0) for n in (32, 64, 128, 256, 512)},
+    **{("verl", "72B", n): (n, 0) for n in (64, 128, 256, 512, 1024)},
+    # ---- One-step staleness ----
+    ("one_step", "7B", 16): (8, 8),
+    ("one_step", "7B", 32): (8, 24),
+    ("one_step", "7B", 64): (16, 48),
+    ("one_step", "7B", 128): (32, 96),
+    ("one_step", "7B", 256): (40, 216),
+    ("one_step", "32B", 32): (16, 16),
+    ("one_step", "32B", 64): (32, 32),
+    ("one_step", "32B", 128): (48, 80),
+    ("one_step", "32B", 256): (64, 192),
+    ("one_step", "32B", 512): (80, 432),
+    ("one_step", "72B", 64): (32, 32),
+    ("one_step", "72B", 128): (64, 64),
+    ("one_step", "72B", 256): (96, 160),
+    ("one_step", "72B", 512): (192, 320),
+    ("one_step", "72B", 1024): (256, 768),
+    # ---- Stream generation (same placements as one-step in Table 2) ----
+    ("stream_gen", "7B", 16): (8, 8),
+    ("stream_gen", "7B", 32): (8, 24),
+    ("stream_gen", "7B", 64): (16, 48),
+    ("stream_gen", "7B", 128): (32, 96),
+    ("stream_gen", "7B", 256): (40, 216),
+    ("stream_gen", "32B", 32): (16, 16),
+    ("stream_gen", "32B", 64): (32, 32),
+    ("stream_gen", "32B", 128): (48, 80),
+    ("stream_gen", "32B", 256): (64, 192),
+    ("stream_gen", "32B", 512): (80, 432),
+    ("stream_gen", "72B", 64): (32, 32),
+    ("stream_gen", "72B", 128): (64, 64),
+    ("stream_gen", "72B", 256): (96, 160),
+    ("stream_gen", "72B", 512): (192, 320),
+    ("stream_gen", "72B", 1024): (256, 768),
+    # ---- AReaL ----
+    ("areal", "7B", 16): (8, 8),
+    ("areal", "7B", 32): (16, 16),
+    ("areal", "7B", 64): (32, 32),
+    ("areal", "7B", 128): (64, 64),
+    ("areal", "7B", 256): (128, 128),
+    ("areal", "32B", 32): (16, 16),
+    ("areal", "32B", 64): (32, 32),
+    ("areal", "32B", 128): (64, 64),
+    ("areal", "32B", 256): (128, 128),
+    ("areal", "32B", 512): (256, 256),
+    ("areal", "72B", 64): (32, 32),
+    ("areal", "72B", 128): (64, 64),
+    ("areal", "72B", 256): (128, 128),
+    ("areal", "72B", 512): (320, 192),
+    ("areal", "72B", 1024): (640, 384),
+    # ---- Laminar ----
+    ("laminar", "7B", 16): (8, 8),
+    ("laminar", "7B", 32): (24, 8),
+    ("laminar", "7B", 64): (40, 24),
+    ("laminar", "7B", 128): (80, 48),
+    ("laminar", "7B", 256): (192, 64),
+    ("laminar", "32B", 32): (16, 16),
+    ("laminar", "32B", 64): (32, 32),
+    ("laminar", "32B", 128): (64, 64),
+    ("laminar", "32B", 256): (128, 128),
+    ("laminar", "32B", 512): (256, 256),
+    ("laminar", "72B", 64): (32, 32),
+    ("laminar", "72B", 128): (64, 64),
+    ("laminar", "72B", 256): (128, 128),
+    ("laminar", "72B", 512): (320, 192),
+    ("laminar", "72B", 1024): (768, 256),
+}
+
+#: GPU scales evaluated per model size (Fig 11).
+MODEL_SCALES: Dict[str, List[int]] = {
+    "7B": [16, 32, 64, 128, 256],
+    "32B": [32, 64, 128, 256, 512],
+    "72B": [64, 128, 256, 512, 1024],
+}
+
+
+def rollout_tensor_parallel(system: str, model_size: str) -> int:
+    """Rollout TP size per Appendix A.2."""
+    if model_size == "32B":
+        return 4
+    if model_size == "72B":
+        return 8
+    # 7B: AReaL and Laminar maximise throughput with TP=1; others use TP=2.
+    return 1 if system in ("areal", "laminar") else 2
+
+
+def placement_for(system: str, model_size: str, total_gpus: int) -> Tuple[int, int]:
+    """Trainer/rollout GPU split from Table 2."""
+    try:
+        return PLACEMENTS[(system, model_size, total_gpus)]
+    except KeyError:
+        raise KeyError(
+            f"no Table 2 placement for system={system!r}, model={model_size!r}, "
+            f"GPUs={total_gpus}"
+        ) from None
+
+
+def make_system_config(
+    system: str,
+    model_size: str,
+    total_gpus: int,
+    task_type: str = "math",
+    **overrides,
+) -> SystemConfig:
+    """Build the paper-accurate configuration for one evaluation grid point."""
+    if system not in SYSTEMS:
+        raise ValueError(f"unknown system {system!r}; known: {SYSTEMS}")
+    trainer_gpus, rollout_gpus = placement_for(system, model_size, total_gpus)
+    tp = rollout_tensor_parallel(system, model_size)
+    staleness = {"verl": 0, "one_step": 1, "stream_gen": 1, "areal": 10 ** 6, "laminar": 0}[system]
+    max_concurrency = 1024 if system in ("areal", "laminar") else 8192
+    config = SystemConfig(
+        system=system,
+        model_size=model_size,
+        task_type=task_type,
+        trainer_gpus=trainer_gpus,
+        rollout_gpus=rollout_gpus,
+        rollout_tensor_parallel=tp,
+        trainer_parallel=default_trainer_parallel(model_size, trainer_gpus, system),
+        staleness_bound=staleness,
+        max_concurrency_per_replica=max_concurrency,
+        repack_enabled=(system == "laminar"),
+    )
+    if overrides:
+        from dataclasses import replace
+
+        config = replace(config, **overrides)
+    return config
+
+
+def table2_rows() -> List[Dict[str, object]]:
+    """Reproduce Table 2 as a list of row dictionaries."""
+    rows: List[Dict[str, object]] = []
+    for (system, model_size, total), (train, rollout) in sorted(
+        PLACEMENTS.items(), key=lambda kv: (SYSTEMS.index(kv[0][0]), kv[0][1], kv[0][2])
+    ):
+        rows.append(
+            {
+                "system": system,
+                "model": model_size,
+                "total_gpus": total,
+                "trainer_gpus": train if rollout else total,
+                "rollout_gpus": rollout if rollout else total,
+                "colocated": rollout == 0,
+            }
+        )
+    return rows

@@ -1,0 +1,136 @@
+"""Parallelism layouts and per-GPU shard sizes.
+
+The baselines and Laminar place the actor with FSDP (+ Ulysses sequence
+parallelism) or Megatron TP/PP, and rollouts with vLLM tensor parallelism
+(Table 2 / Appendix A.2).  This module computes shard sizes, memory footprints
+and the communication volumes that the weight-synchronization models need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .model_spec import FP32_BYTES, ModelSpec
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """A parallelism layout over a group of GPUs."""
+
+    tensor_parallel: int = 1
+    pipeline_parallel: int = 1
+    data_parallel: int = 1
+    sequence_parallel: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("tensor_parallel", "pipeline_parallel", "data_parallel", "sequence_parallel"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def model_shards(self) -> int:
+        """GPUs across which one model replica is sharded."""
+        return self.tensor_parallel * self.pipeline_parallel
+
+    @property
+    def world_size(self) -> int:
+        return self.model_shards * self.data_parallel
+
+    def shard_bytes(self, model: ModelSpec) -> float:
+        """Weight bytes held by a single GPU."""
+        return model.weight_bytes / self.model_shards
+
+
+def rollout_parallel_config(model: ModelSpec, tensor_parallel: int) -> ParallelConfig:
+    """vLLM-style rollout layout: pure TP within one machine."""
+    return ParallelConfig(tensor_parallel=tensor_parallel)
+
+
+def fsdp_trainer_config(num_gpus: int, fsdp_size: int, sequence_parallel: int = 1) -> ParallelConfig:
+    """verl-style FSDP trainer layout (DDP across FSDP groups)."""
+    if num_gpus % fsdp_size != 0:
+        raise ValueError(f"num_gpus={num_gpus} not divisible by fsdp_size={fsdp_size}")
+    return ParallelConfig(
+        tensor_parallel=fsdp_size,
+        data_parallel=num_gpus // fsdp_size,
+        sequence_parallel=sequence_parallel,
+    )
+
+
+def megatron_trainer_config(
+    num_gpus: int, tensor_parallel: int, pipeline_parallel: int
+) -> ParallelConfig:
+    """AReaL-style Megatron layout: DP derived from the remaining GPUs."""
+    shards = tensor_parallel * pipeline_parallel
+    if num_gpus % shards != 0:
+        raise ValueError(
+            f"num_gpus={num_gpus} not divisible by TP*PP={shards}"
+        )
+    return ParallelConfig(
+        tensor_parallel=tensor_parallel,
+        pipeline_parallel=pipeline_parallel,
+        data_parallel=num_gpus // shards,
+    )
+
+
+@dataclass(frozen=True)
+class TrainingMemoryModel:
+    """Per-GPU memory footprint of the actor under mixed-precision training.
+
+    Weights (bf16) + gradients (bf16) + Adam moments (2 x fp32) + fp32 master
+    weights, all sharded across the FSDP/TP group, plus activation memory that
+    scales with the per-GPU token count.
+    """
+
+    model: ModelSpec
+    config: ParallelConfig
+    activation_bytes_per_token: float = 0.0
+
+    def parameter_state_bytes(self) -> float:
+        per_param = (
+            self.model.dtype_bytes  # weights
+            + self.model.dtype_bytes  # gradients
+            + 2 * FP32_BYTES  # Adam m, v
+            + FP32_BYTES  # master weights
+        )
+        return self.model.num_parameters * per_param / self.config.model_shards
+
+    def activation_bytes(self, tokens_per_gpu: int) -> float:
+        per_token = self.activation_bytes_per_token
+        if per_token <= 0:
+            # Rough transformer activation estimate with checkpointing:
+            # ~ 2 * hidden * layers bytes/token in bf16, reduced by SP.
+            per_token = (
+                2.0
+                * self.model.hidden_size
+                * self.model.num_layers
+                * self.model.dtype_bytes
+                / self.config.sequence_parallel
+            )
+        return per_token * tokens_per_gpu
+
+    def total_bytes(self, tokens_per_gpu: int) -> float:
+        return self.parameter_state_bytes() + self.activation_bytes(tokens_per_gpu)
+
+    def fits(self, gpu_memory_bytes: float, tokens_per_gpu: int, reserve: float = 0.1) -> bool:
+        """True if the footprint fits in GPU memory with a ``reserve`` fraction spare."""
+        return self.total_bytes(tokens_per_gpu) <= gpu_memory_bytes * (1.0 - reserve)
+
+
+def rollout_free_memory_for_kvcache(
+    model: ModelSpec,
+    gpu_memory_bytes: float,
+    tensor_parallel: int,
+    activation_reserve_fraction: float = 0.1,
+) -> float:
+    """GPU memory left for the KVCache after weights and activation reserve.
+
+    vLLM reserves the model shard plus a working-set fraction; everything else
+    becomes KVCache blocks.  Returns bytes available on ONE GPU of the
+    tensor-parallel group.
+    """
+    if not 0 <= activation_reserve_fraction < 1:
+        raise ValueError("activation_reserve_fraction must be in [0, 1)")
+    shard = model.weight_bytes / tensor_parallel
+    free = gpu_memory_bytes * (1.0 - activation_reserve_fraction) - shard
+    return max(0.0, free)

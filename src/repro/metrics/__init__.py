@@ -1,0 +1,14 @@
+"""Metrics: throughput/speedup/scaling results and time-series helpers."""
+
+from .results import StageBreakdown, SystemRunResult, scaling_efficiency, speedup
+from .timeline import EventCounterSeries, TimeSeries, moving_average
+
+__all__ = [
+    "StageBreakdown",
+    "SystemRunResult",
+    "scaling_efficiency",
+    "speedup",
+    "EventCounterSeries",
+    "TimeSeries",
+    "moving_average",
+]

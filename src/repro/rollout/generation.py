@@ -1,0 +1,522 @@
+"""Replica-level generation engine.
+
+:class:`ReplicaGenerationState` models one rollout replica (one vLLM tensor-
+parallel group) decoding a set of trajectories.  It is deliberately free of
+any discrete-event-simulation dependency: callers drive it by asking "when is
+your next internal event?" and then telling it "advance by this much time".
+
+* The Laminar system (``repro.core.laminar``) drives it from interruptible
+  DES processes, so repacking and weight pulls can happen at any instant.
+* The baseline systems (``repro.baselines``) drive it in a plain loop until a
+  batch completes, which reproduces their batch-synchronous behaviour.
+
+Because every system shares this engine (and the roofline decode model inside
+it), throughput differences between systems come purely from orchestration —
+matching the paper's "alleviating implementation bias" methodology (§8).
+
+Decode semantics
+----------------
+All actively decoding sequences advance one token per decode step; the decode
+step latency follows the roofline model and depends on the live batch size and
+mean context length.  A sequence is one of:
+
+``queued``      waiting for KVCache admission (vLLM waiting queue)
+``decoding``    in the decode batch
+``env_wait``    waiting on an environment interaction (multi-turn tasks)
+``done``        finished (removed from the replica)
+
+KVCache management follows the vLLM model: a sequence is admitted when its
+*current* context fits (plus a small growth lookahead), blocks are allocated
+incrementally as tokens are decoded, and when the cache fills up the most
+recently admitted sequences are preempted back to the waiting queue (their
+cache is rebuilt when they are re-admitted).  This reproduces the utilisation
+lifecycle of Figure 9: ramp-up, a plateau near ``C_max`` while a waiting queue
+exists, and a ramp-down once it drains.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..llm.decode_model import DecodeModel
+from ..sim.kvcache import KVCache, KVCacheConfig
+from ..types import Trajectory
+
+#: Numerical slack used when comparing simulated times.
+_EPS = 1e-9
+
+
+@dataclass
+class TurnSchedule:
+    """Pre-sampled decode/environment schedule for one trajectory.
+
+    ``segments[i]`` is the number of response tokens decoded in turn ``i``;
+    ``env_latencies[i]`` is the environment latency paid *after* turn ``i``
+    (zero after the final turn).  Single-turn tasks have one segment and no
+    environment latency.
+    """
+
+    segments: List[int]
+    env_latencies: List[float]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError("a turn schedule needs at least one segment")
+        if len(self.env_latencies) != len(self.segments):
+            raise ValueError("env_latencies must have one entry per segment")
+        if any(s <= 0 for s in self.segments):
+            raise ValueError("segments must be positive")
+        if any(l < 0 for l in self.env_latencies):
+            raise ValueError("env latencies must be non-negative")
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(self.segments)
+
+    @property
+    def num_turns(self) -> int:
+        return len(self.segments)
+
+    @classmethod
+    def single_turn(cls, tokens: int) -> "TurnSchedule":
+        return cls(segments=[int(tokens)], env_latencies=[0.0])
+
+
+class SequenceStatus:
+    QUEUED = "queued"
+    DECODING = "decoding"
+    ENV_WAIT = "env_wait"
+    DONE = "done"
+
+
+@dataclass
+class SequenceState:
+    """Runtime state of one trajectory on a replica."""
+
+    trajectory: Trajectory
+    schedule: TurnSchedule
+    status: str = SequenceStatus.QUEUED
+    turn_index: int = 0
+    tokens_done_in_turn: int = 0
+    env_return_time: float = math.inf
+    #: True if this sequence arrived via repack/failover and its existing
+    #: context must be re-prefilled before decoding resumes on this replica.
+    needs_reprefill: bool = False
+
+    @property
+    def seq_id(self) -> int:
+        return self.trajectory.traj_id
+
+    @property
+    def segment_remaining(self) -> int:
+        return self.schedule.segments[self.turn_index] - self.tokens_done_in_turn
+
+    @property
+    def total_remaining(self) -> int:
+        remaining = self.segment_remaining
+        remaining += sum(self.schedule.segments[self.turn_index + 1:])
+        return remaining
+
+    @property
+    def context_tokens(self) -> int:
+        return self.trajectory.prompt.prompt_tokens + self.trajectory.generated_tokens
+
+    @property
+    def reserved_tokens(self) -> int:
+        """KVCache reservation: prompt plus the full eventual response."""
+        return self.trajectory.prompt.prompt_tokens + self.schedule.total_tokens
+
+
+@dataclass
+class ReplicaStats:
+    """Cumulative counters exposed for metrics and tests."""
+
+    tokens_generated: int = 0
+    prompt_tokens_prefilled: int = 0
+    reprefill_tokens: int = 0
+    trajectories_completed: int = 0
+    decode_busy_time: float = 0.0
+    idle_time: float = 0.0
+    env_blocked_time: float = 0.0
+    preemptions: int = 0
+
+
+class ReplicaGenerationState:
+    """Simulated decode engine for one rollout replica."""
+
+    def __init__(
+        self,
+        replica_id: int,
+        decode_model: DecodeModel,
+        kvcache_config: KVCacheConfig,
+        max_concurrency: int = 1024,
+        weight_version: int = 0,
+    ) -> None:
+        if max_concurrency <= 0:
+            raise ValueError("max_concurrency must be positive")
+        self.replica_id = replica_id
+        self.decode_model = decode_model
+        self.kvcache = KVCache(kvcache_config)
+        self.max_concurrency = max_concurrency
+        self.weight_version = weight_version
+        self.clock = 0.0
+        self.stats = ReplicaStats()
+        self._sequences: Dict[int, SequenceState] = {}
+        self._queued: List[int] = []
+        self._decoding: List[int] = []
+        self._env_wait: List[int] = []
+        self._completed: List[Trajectory] = []
+        self._time_carry = 0.0
+        #: Utilisation at the previous observation, for the ramp-down test
+        #: (§5.2: a repack candidate has non-increasing KVCache utilisation).
+        self.prev_utilization = 0.0
+
+    # ------------------------------------------------------------------ intake
+    def add_sequences(self, sequences: Sequence[SequenceState]) -> None:
+        """Add new or migrated sequences to this replica's queue."""
+        for seq in sequences:
+            if seq.seq_id in self._sequences:
+                raise ValueError(f"sequence {seq.seq_id} already on replica {self.replica_id}")
+            seq.status = SequenceStatus.QUEUED
+            self._sequences[seq.seq_id] = seq
+            self._queued.append(seq.seq_id)
+        self._try_admit()
+
+    def remove_sequences(self, seq_ids: Sequence[int]) -> List[SequenceState]:
+        """Detach (in-progress) sequences, e.g. when repacked to another replica."""
+        removed: List[SequenceState] = []
+        for seq_id in seq_ids:
+            seq = self._sequences.pop(seq_id, None)
+            if seq is None:
+                continue
+            for bucket in (self._queued, self._decoding, self._env_wait):
+                if seq_id in bucket:
+                    bucket.remove(seq_id)
+            if seq.status in (SequenceStatus.DECODING, SequenceStatus.ENV_WAIT):
+                self.kvcache.free(seq_id)
+            removed.append(seq)
+        self._try_admit()
+        return removed
+
+    def remove_all(self) -> List[SequenceState]:
+        """Detach every in-progress sequence (machine failure / full release)."""
+        return self.remove_sequences(list(self._sequences.keys()))
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def num_sequences(self) -> int:
+        return len(self._sequences)
+
+    @property
+    def num_decoding(self) -> int:
+        return len(self._decoding)
+
+    @property
+    def num_queued(self) -> int:
+        return len(self._queued)
+
+    @property
+    def num_env_waiting(self) -> int:
+        return len(self._env_wait)
+
+    @property
+    def kvcache_utilization(self) -> float:
+        return self.kvcache.utilization
+
+    @property
+    def is_idle(self) -> bool:
+        return not self._sequences
+
+    def drain_completed(self) -> List[Trajectory]:
+        """Return (and clear) trajectories completed since the last drain."""
+        completed, self._completed = self._completed, []
+        return completed
+
+    def sequences(self) -> List[SequenceState]:
+        return list(self._sequences.values())
+
+    def mean_context_tokens(self) -> float:
+        if not self._decoding:
+            return 0.0
+        total = sum(self._sequences[sid].context_tokens for sid in self._decoding)
+        return total / len(self._decoding)
+
+    def current_step_time(self) -> float:
+        if not self._decoding:
+            return 0.0
+        return self.decode_model.decode_step_time(
+            len(self._decoding), int(self.mean_context_tokens())
+        )
+
+    def in_ramp_down(self, c_max: Optional[float] = None) -> bool:
+        """§5.2 idleness signal: utilisation below C_max and not increasing."""
+        c_max = c_max if c_max is not None else self.kvcache.config.c_max
+        util = self.kvcache_utilization
+        return self.num_queued == 0 and util < min(c_max, self.prev_utilization + 1e-12)
+
+    def observe_utilization(self) -> float:
+        """Record the current utilisation for ramp-down detection and return it."""
+        util = self.kvcache_utilization
+        self.prev_utilization = util
+        return util
+
+    # ------------------------------------------------------------------ scheduling
+    #: Extra tokens of headroom required beyond a sequence's current context
+    #: before it is admitted, to avoid admit/preempt thrashing.
+    admission_lookahead_tokens: int = 256
+
+    def _try_admit(self) -> None:
+        admitted_any = True
+        while admitted_any and self._queued:
+            admitted_any = False
+            if len(self._decoding) + len(self._env_wait) >= self.max_concurrency:
+                return
+            seq_id = self._queued[0]
+            seq = self._sequences[seq_id]
+            needed = seq.context_tokens + self.admission_lookahead_tokens
+            if not self.kvcache.can_allocate(needed):
+                return
+            self._queued.pop(0)
+            self.kvcache.allocate(seq_id, seq.context_tokens + 1)
+            seq.status = SequenceStatus.DECODING
+            self._decoding.append(seq_id)
+            if seq.needs_reprefill:
+                self.stats.reprefill_tokens += seq.context_tokens
+                seq.needs_reprefill = False
+            else:
+                self.stats.prompt_tokens_prefilled += seq.trajectory.prompt.prompt_tokens
+            admitted_any = True
+
+    def _preempt_one(self) -> bool:
+        """Preempt the most recently admitted decoding sequence (vLLM recompute).
+
+        Returns True if a sequence was preempted.
+        """
+        if len(self._decoding) <= 1:
+            return False
+        seq_id = self._decoding.pop()
+        seq = self._sequences[seq_id]
+        self.kvcache.free(seq_id)
+        seq.status = SequenceStatus.QUEUED
+        seq.needs_reprefill = True
+        self._queued.insert(0, seq_id)
+        self.stats.preemptions += 1
+        return True
+
+    def _ensure_growth_capacity(self, tokens: int) -> None:
+        """Preempt sequences until every decoding sequence can grow by ``tokens``."""
+        while True:
+            needed_blocks = 0
+            for seq_id in self._decoding:
+                current = self.kvcache.sequence_tokens(seq_id)
+                needed_blocks += (
+                    self.kvcache.blocks_for(current + tokens) - self.kvcache.blocks_for(current)
+                )
+            if needed_blocks <= self.kvcache.free_blocks:
+                return
+            if not self._preempt_one():
+                return
+
+    def _release_env_returns(self) -> None:
+        returned = [sid for sid in self._env_wait
+                    if self._sequences[sid].env_return_time <= self.clock + _EPS]
+        for seq_id in returned:
+            self._env_wait.remove(seq_id)
+            seq = self._sequences[seq_id]
+            seq.status = SequenceStatus.DECODING
+            seq.env_return_time = math.inf
+            self._decoding.append(seq_id)
+
+    def next_event_in(self) -> Optional[float]:
+        """Time until the next internal event, or ``None`` if the replica is empty.
+
+        Internal events are: a decoding sequence finishing its current segment,
+        or an environment interaction returning.  Admission happens eagerly and
+        never needs a timer.
+        """
+        if not self._sequences:
+            return None
+        self._release_env_returns()
+        self._try_admit()
+        candidates: List[float] = []
+        if self._decoding:
+            step = self.current_step_time()
+            min_seg = min(self._sequences[sid].segment_remaining for sid in self._decoding)
+            candidates.append(max(_EPS, min_seg * step - self._time_carry))
+        if self._env_wait:
+            earliest = min(self._sequences[sid].env_return_time for sid in self._env_wait)
+            candidates.append(max(_EPS, earliest - self.clock))
+        if not candidates:
+            # Only queued sequences that cannot be admitted: the replica is
+            # stuck (should not happen when reservations fit the cache).
+            return None
+        return min(candidates)
+
+    def advance(self, dt: float) -> List[Trajectory]:
+        """Advance the replica by ``dt`` seconds of simulated time.
+
+        Handles any number of internal events that fall inside the window and
+        returns the trajectories completed during it.
+        """
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        target = self.clock + dt
+        completed_now: List[Trajectory] = []
+        while self.clock < target - _EPS:
+            self._release_env_returns()
+            self._try_admit()
+            if not self._decoding:
+                # Nothing to decode: jump to the next env return (or the target).
+                if self._env_wait:
+                    earliest = min(self._sequences[sid].env_return_time for sid in self._env_wait)
+                    next_clock = min(target, max(earliest, self.clock))
+                else:
+                    next_clock = target
+                blocked = next_clock - self.clock
+                if self._env_wait:
+                    self.stats.env_blocked_time += blocked
+                else:
+                    self.stats.idle_time += blocked
+                self.clock = next_clock
+                continue
+
+            step = self.current_step_time()
+            min_seg = min(self._sequences[sid].segment_remaining for sid in self._decoding)
+            time_to_segment = min_seg * step - self._time_carry
+            time_to_env = math.inf
+            if self._env_wait:
+                time_to_env = min(self._sequences[sid].env_return_time for sid in self._env_wait) - self.clock
+            window = min(time_to_segment, time_to_env, target - self.clock)
+            window = max(window, 0.0)
+
+            tokens_float = (window + self._time_carry) / step
+            tokens = int(math.floor(tokens_float + 1e-9))
+            tokens = min(tokens, min_seg)
+            self._time_carry = (window + self._time_carry) - tokens * step
+            if tokens > 0:
+                self._apply_decode(tokens, completed_now)
+            self.stats.decode_busy_time += window
+            self.clock += window
+            if window <= _EPS and tokens == 0:
+                # Avoid an infinite loop on degenerate windows.
+                self.clock = min(target, self.clock + _EPS)
+        self._completed.extend(completed_now)
+        return completed_now
+
+    def _apply_decode(self, tokens: int, completed_now: List[Trajectory]) -> None:
+        """Advance every decoding sequence by ``tokens`` tokens."""
+        self._ensure_growth_capacity(tokens)
+        finished_segment: List[int] = []
+        for seq_id in list(self._decoding):
+            seq = self._sequences[seq_id]
+            step_tokens = min(tokens, seq.segment_remaining)
+            seq.tokens_done_in_turn += step_tokens
+            seq.trajectory.advance(step_tokens, self.weight_version)
+            self.kvcache.append_tokens(seq_id, step_tokens)
+            self.stats.tokens_generated += step_tokens
+            if seq.segment_remaining == 0:
+                finished_segment.append(seq_id)
+        for seq_id in finished_segment:
+            seq = self._sequences[seq_id]
+            env_latency = seq.schedule.env_latencies[seq.turn_index]
+            last_turn = seq.turn_index == seq.schedule.num_turns - 1
+            if last_turn:
+                self._decoding.remove(seq_id)
+                self.kvcache.free(seq_id)
+                del self._sequences[seq_id]
+                seq.status = SequenceStatus.DONE
+                seq.trajectory.finish_time = self.clock
+                seq.trajectory.replica_id = self.replica_id
+                seq.trajectory.turns_done = seq.schedule.num_turns
+                completed_now.append(seq.trajectory)
+                self.stats.trajectories_completed += 1
+            else:
+                seq.turn_index += 1
+                seq.tokens_done_in_turn = 0
+                seq.trajectory.turns_done = seq.turn_index
+                if env_latency > 0:
+                    self._decoding.remove(seq_id)
+                    seq.status = SequenceStatus.ENV_WAIT
+                    seq.env_return_time = self.clock + env_latency
+                    self._env_wait.append(seq_id)
+        self._try_admit()
+
+    def inject_stall(self, duration: float, *, busy: bool = True) -> None:
+        """Advance the replica clock by ``duration`` without decoding.
+
+        Used to charge non-decode GPU work that blocks generation, e.g. the
+        KVCache re-prefill storms of partial-rollout systems or weight-load
+        stalls.  ``busy=True`` books the time as decode-busy (the GPU is doing
+        work, just not emitting tokens); ``busy=False`` books it as idle.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        self.clock += duration
+        # Push any pending env returns accordingly: environment latency is
+        # wall-clock, so env timers keep running during the stall (no shift).
+        if busy:
+            self.stats.decode_busy_time += duration
+        else:
+            self.stats.idle_time += duration
+
+    def reprefill_all_inflight(self) -> float:
+        """Charge a re-prefill of every in-flight sequence's cached context.
+
+        Returns the stall duration charged.  This models the partial-rollout
+        pause-and-sync cycle (§2.3): after a weight update, every interrupted
+        trajectory must rebuild its KVCache before decoding can continue.
+        """
+        inflight = [self._sequences[sid] for sid in self._decoding + self._env_wait]
+        total_context = sum(seq.context_tokens for seq in inflight)
+        if total_context == 0:
+            return 0.0
+        # Each interrupted trajectory re-prefills its own context; the engine
+        # batches these prefills, so the cost is the sum of per-sequence
+        # prefill compute (attention cost is quadratic per sequence, not over
+        # the concatenation).
+        stall = sum(
+            self.decode_model.prefill_time(seq.context_tokens, batch_size=1)
+            for seq in inflight
+        )
+        self.stats.reprefill_tokens += total_context
+        for seq in inflight:
+            seq.trajectory.reprefill_count += 1
+        self.inject_stall(stall, busy=True)
+        return stall
+
+    def set_weight_version(self, version: int) -> None:
+        """Switch the replica to a new weight version (subsequent tokens use it)."""
+        if version < self.weight_version:
+            raise ValueError("weight version cannot go backwards")
+        self.weight_version = version
+
+    # ------------------------------------------------------------------ batch API
+    def run_to_completion(self, max_time: float = math.inf) -> Tuple[float, List[Trajectory]]:
+        """Drive the replica until every sequence finishes (baseline systems).
+
+        Returns ``(elapsed_time, completed_trajectories)``.
+        """
+        start = self.clock
+        completed: List[Trajectory] = []
+        while self._sequences and self.clock - start < max_time:
+            delta = self.next_event_in()
+            if delta is None:
+                break
+            delta = min(delta, max_time - (self.clock - start))
+            completed.extend(self.advance(delta))
+        completed.extend(self.drain_completed())
+        # drain_completed may duplicate those returned by advance; dedupe by id.
+        unique: Dict[int, Trajectory] = {t.traj_id: t for t in completed}
+        return self.clock - start, list(unique.values())
+
+
+def build_sequence_states(
+    trajectories: Sequence[Trajectory],
+    schedules: Sequence[TurnSchedule],
+) -> List[SequenceState]:
+    """Pair trajectories with their pre-sampled turn schedules."""
+    if len(trajectories) != len(schedules):
+        raise ValueError("trajectories and schedules must align")
+    return [SequenceState(trajectory=t, schedule=s) for t, s in zip(trajectories, schedules)]

@@ -1,0 +1,177 @@
+"""Paged KVCache accounting for rollout replicas.
+
+The repack mechanism (§5) keys entirely off KVCache utilisation, so the
+reproduction models the cache the way vLLM does: a fixed pool of fixed-size
+blocks, allocated per in-flight trajectory as it grows.  The model exposes the
+utilisation lifecycle of Figure 9: ramp-up while waiting trajectories fill
+freed space, a steady plateau near ``C_max``, and a ramp-down once no waiting
+trajectories remain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+#: Default vLLM-style block size in tokens.
+DEFAULT_BLOCK_SIZE = 16
+
+#: "Full" utilisation threshold C_max from §5.2 (99% of the cache).
+DEFAULT_C_MAX = 0.99
+
+
+class KVCacheError(RuntimeError):
+    """Raised on illegal KVCache operations (double free, over-allocation)."""
+
+
+@dataclass
+class KVCacheConfig:
+    """Sizing of one replica's KVCache pool."""
+
+    total_blocks: int
+    block_size: int = DEFAULT_BLOCK_SIZE
+    c_max: float = DEFAULT_C_MAX
+
+    def __post_init__(self) -> None:
+        if self.total_blocks <= 0:
+            raise ValueError("total_blocks must be positive")
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if not 0 < self.c_max <= 1:
+            raise ValueError("c_max must be in (0, 1]")
+
+    @property
+    def total_tokens(self) -> int:
+        """Maximum number of cached tokens across all sequences."""
+        return self.total_blocks * self.block_size
+
+
+@dataclass
+class _Allocation:
+    tokens: int = 0
+    blocks: int = 0
+
+
+@dataclass
+class KVCache:
+    """Block-granular KVCache for a single rollout replica."""
+
+    config: KVCacheConfig
+    _allocations: Dict[int, _Allocation] = field(default_factory=dict)
+    _used_blocks: int = 0
+    peak_blocks: int = 0
+    _usage_history: List[float] = field(default_factory=list)
+
+    # -- allocation ---------------------------------------------------------
+    def blocks_for(self, tokens: int) -> int:
+        """Number of blocks needed to hold ``tokens``."""
+        if tokens < 0:
+            raise ValueError("tokens must be non-negative")
+        if tokens == 0:
+            return 0
+        return -(-tokens // self.config.block_size)
+
+    def can_allocate(self, tokens: int) -> bool:
+        """True if a new sequence of ``tokens`` tokens fits right now."""
+        return self._used_blocks + self.blocks_for(tokens) <= self.config.total_blocks
+
+    def allocate(self, seq_id: int, tokens: int) -> None:
+        """Reserve cache space for a new sequence ``seq_id`` of ``tokens`` tokens."""
+        if seq_id in self._allocations:
+            raise KVCacheError(f"sequence {seq_id} already allocated")
+        blocks = self.blocks_for(tokens)
+        if self._used_blocks + blocks > self.config.total_blocks:
+            raise KVCacheError(
+                f"cannot allocate {blocks} blocks for seq {seq_id}: "
+                f"{self.free_blocks} free"
+            )
+        self._allocations[seq_id] = _Allocation(tokens=tokens, blocks=blocks)
+        self._used_blocks += blocks
+        self.peak_blocks = max(self.peak_blocks, self._used_blocks)
+
+    def append_tokens(self, seq_id: int, tokens: int = 1) -> None:
+        """Grow sequence ``seq_id`` by ``tokens`` decoded tokens."""
+        if tokens < 0:
+            raise ValueError("tokens must be non-negative")
+        alloc = self._allocations.get(seq_id)
+        if alloc is None:
+            raise KVCacheError(f"sequence {seq_id} is not allocated")
+        new_total = alloc.tokens + tokens
+        new_blocks = self.blocks_for(new_total)
+        delta = new_blocks - alloc.blocks
+        if delta > 0:
+            if self._used_blocks + delta > self.config.total_blocks:
+                raise KVCacheError(f"KVCache overflow growing sequence {seq_id}")
+            self._used_blocks += delta
+        alloc.tokens = new_total
+        alloc.blocks = new_blocks
+        self.peak_blocks = max(self.peak_blocks, self._used_blocks)
+
+    def free(self, seq_id: int) -> int:
+        """Release the sequence's blocks, returning how many were freed."""
+        alloc = self._allocations.pop(seq_id, None)
+        if alloc is None:
+            raise KVCacheError(f"sequence {seq_id} is not allocated")
+        self._used_blocks -= alloc.blocks
+        return alloc.blocks
+
+    def evict_all(self) -> None:
+        """Drop every allocation (used when a replica is repacked away or fails)."""
+        self._allocations.clear()
+        self._used_blocks = 0
+
+    # -- inspection -----------------------------------------------------------
+    @property
+    def used_blocks(self) -> int:
+        return self._used_blocks
+
+    @property
+    def free_blocks(self) -> int:
+        return self.config.total_blocks - self._used_blocks
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of blocks in use, in [0, 1]."""
+        return self._used_blocks / self.config.total_blocks
+
+    @property
+    def num_sequences(self) -> int:
+        return len(self._allocations)
+
+    def sequence_tokens(self, seq_id: int) -> int:
+        alloc = self._allocations.get(seq_id)
+        if alloc is None:
+            raise KVCacheError(f"sequence {seq_id} is not allocated")
+        return alloc.tokens
+
+    def sequence_ids(self) -> List[int]:
+        return list(self._allocations)
+
+    def is_full(self) -> bool:
+        """True if utilisation has reached the C_max threshold."""
+        return self.utilization >= self.config.c_max
+
+    def record_usage(self) -> None:
+        """Append the current utilisation to the usage history (Fig 9 traces)."""
+        self._usage_history.append(self.utilization)
+
+    @property
+    def usage_history(self) -> List[float]:
+        return list(self._usage_history)
+
+
+def kvcache_blocks_for_memory(
+    free_memory_bytes: float,
+    kv_bytes_per_token: float,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> int:
+    """How many KVCache blocks fit into ``free_memory_bytes``.
+
+    ``kv_bytes_per_token`` is provided by the model spec (2 * layers * kv_heads
+    * head_dim * dtype bytes, divided by the tensor-parallel degree).
+    """
+    if kv_bytes_per_token <= 0:
+        raise ValueError("kv_bytes_per_token must be positive")
+    tokens = int(free_memory_bytes // kv_bytes_per_token)
+    return max(0, tokens // block_size)

@@ -1,0 +1,224 @@
+"""Network cost models.
+
+All communication in the reproduction is costed with the classic alpha–beta
+model: transferring ``s`` bytes over a link costs ``T_start + s * T_byte``
+(Appendix D of the paper uses exactly this formulation).  On top of single
+links we provide the collective patterns the paper relies on:
+
+* :func:`chain_pipelined_broadcast_time` — Appendix D, Eq. (1): the relay
+  workers' chunked broadcast along a chain of machines.
+* :func:`optimal_chunk_count` — the closed-form k* from Appendix D.
+* :func:`gpu_direct_global_sync_time` — the NCCL-style broadcast used by the
+  baselines, where every actor shard is broadcast to every rollout shard and
+  both sides stall.
+* :class:`Link` / :class:`NetworkFabric` — event-level transfer processes used
+  inside the discrete-event simulation (so concurrent transfers on the same
+  link share bandwidth and serialize correctly).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Optional, Tuple
+
+from .engine import Environment
+from .resources import Resource
+
+# -- Hardware constants (H800-class testbed from §8) --------------------------
+
+#: Intra-machine NVLink bandwidth (bytes/s).  8x H800 with 400 GB/s NVLink.
+NVLINK_BANDWIDTH = 400e9
+#: PCIe Gen5 x16 effective bandwidth used for relay -> GPU weight loads.
+PCIE_BANDWIDTH = 55e9
+#: Per-NIC RDMA bandwidth: 400 Gbps.
+RDMA_NIC_BANDWIDTH = 400e9 / 8
+#: Each machine has 8 NICs (8 x 400 Gbps in the paper's testbed).
+NICS_PER_MACHINE = 8
+#: RDMA startup latency (seconds) — microseconds per Appendix D.
+RDMA_STARTUP_LATENCY = 5e-6
+#: TCP startup latency (seconds) — used for the storage-system comparison (§4.1).
+TCP_STARTUP_LATENCY = 100e-6
+#: Effective TCP bandwidth for the NFS/Redis style baseline (bytes/s).
+TCP_BANDWIDTH = 1.25e9  # ~10 Gbps
+#: Serialization throughput observed in §4.1 profiling (4 GB shard ~ 8 s).
+SERIALIZATION_BANDWIDTH = 0.5e9
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static description of one communication link."""
+
+    name: str
+    bandwidth: float  # bytes per second
+    startup: float  # seconds
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Alpha-beta cost of moving ``nbytes`` over this link once."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return self.startup
+        return self.startup + nbytes / self.bandwidth
+
+
+RDMA_LINK = LinkSpec("rdma", RDMA_NIC_BANDWIDTH * NICS_PER_MACHINE, RDMA_STARTUP_LATENCY)
+RDMA_SINGLE_NIC_LINK = LinkSpec("rdma-1nic", RDMA_NIC_BANDWIDTH, RDMA_STARTUP_LATENCY)
+PCIE_LINK = LinkSpec("pcie", PCIE_BANDWIDTH, 10e-6)
+NVLINK_LINK = LinkSpec("nvlink", NVLINK_BANDWIDTH, 3e-6)
+TCP_LINK = LinkSpec("tcp", TCP_BANDWIDTH, TCP_STARTUP_LATENCY)
+
+
+# -- Appendix D: chain-based pipelined broadcast ------------------------------
+
+
+def chain_pipelined_broadcast_time(
+    nbytes: float,
+    num_nodes: int,
+    chunks: Optional[int] = None,
+    link: LinkSpec = RDMA_LINK,
+) -> float:
+    """Total latency of broadcasting ``nbytes`` to ``num_nodes - 1`` relays.
+
+    Implements Eq. (1) of Appendix D:
+
+        T(p, k) = (p + k - 2) * (M/k * T_byte + T_start)
+
+    If ``chunks`` is ``None``, the optimal k* from the appendix is used.
+
+    ``num_nodes`` counts the master relay plus all receivers (p in the paper).
+    A single node (p == 1) costs nothing; p == 2 degenerates to a single
+    point-to-point transfer.
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    if num_nodes == 1 or nbytes == 0:
+        return 0.0
+    p = num_nodes
+    if chunks is None:
+        chunks = optimal_chunk_count(nbytes, num_nodes, link)
+    k = max(1, int(chunks))
+    t_byte = 1.0 / link.bandwidth
+    chunk_time = (nbytes / k) * t_byte + link.startup
+    return (p + k - 2) * chunk_time
+
+
+def optimal_chunk_count(nbytes: float, num_nodes: int, link: LinkSpec = RDMA_LINK) -> int:
+    """Closed-form optimal chunk count k* = sqrt((p-2) * M * T_byte / T_start)."""
+    if num_nodes <= 2 or nbytes <= 0:
+        return 1
+    t_byte = 1.0 / link.bandwidth
+    k_star = math.sqrt((num_nodes - 2) * nbytes * t_byte / link.startup)
+    return max(1, int(round(k_star)))
+
+
+def optimal_chain_broadcast_time(
+    nbytes: float, num_nodes: int, link: LinkSpec = RDMA_LINK
+) -> float:
+    """T*(p) = M*T_byte + (p-2)*T_start + 2*sqrt((p-2)*M*T_byte*T_start)."""
+    if num_nodes <= 1 or nbytes <= 0:
+        return 0.0
+    if num_nodes == 2:
+        return link.transfer_time(nbytes)
+    t_byte = 1.0 / link.bandwidth
+    p = num_nodes
+    return (
+        nbytes * t_byte
+        + (p - 2) * link.startup
+        + 2.0 * math.sqrt((p - 2) * nbytes * t_byte * link.startup)
+    )
+
+
+def gpu_direct_global_sync_time(
+    nbytes_per_rank: float,
+    num_rollout_machines: int,
+    link: LinkSpec = RDMA_LINK,
+    resharding_overhead: float = 0.25,
+) -> float:
+    """Latency of the baselines' NCCL-style global weight synchronization.
+
+    Each actor shard is broadcast to the corresponding rollout shards across
+    machines.  Unlike the relay chain this is a blocking collective: all
+    rollouts and the actor participate, and the duration grows with the
+    number of participating rollout machines because the broadcast tree gets
+    deeper and the per-rank traffic is replicated to every machine hosting a
+    model replica.  ``resharding_overhead`` accounts for the actor->rollout
+    layout conversion performed on-GPU before the transfer.
+    """
+    if num_rollout_machines < 1:
+        raise ValueError("num_rollout_machines must be >= 1")
+    tree_depth = max(1, math.ceil(math.log2(num_rollout_machines + 1)))
+    transfer = link.transfer_time(nbytes_per_rank) * tree_depth
+    return transfer * (1.0 + resharding_overhead)
+
+
+def storage_system_sync_time(nbytes: float, num_readers: int = 1) -> float:
+    """Weight sync through an NFS/Redis style storage system (§4.1).
+
+    Serialization + TCP write + ``num_readers`` contended TCP reads.
+    """
+    serialize = nbytes / SERIALIZATION_BANDWIDTH
+    write = TCP_LINK.transfer_time(nbytes)
+    # Readers contend on the storage node's NIC: effective per-reader bandwidth
+    # shrinks linearly with concurrency.
+    read = TCP_LINK.transfer_time(nbytes) * max(1, num_readers)
+    return serialize + write + read
+
+
+# -- Event-level links used inside the DES ------------------------------------
+
+
+class Link:
+    """A simulated link that serializes transfers and tracks utilisation."""
+
+    def __init__(self, env: Environment, spec: LinkSpec, name: str = "") -> None:
+        self.env = env
+        self.spec = spec
+        self.name = name or spec.name
+        self._channel = Resource(env, capacity=1)
+        self.bytes_transferred = 0.0
+        self.busy_time = 0.0
+
+    def transfer(self, nbytes: float) -> Generator:
+        """Process generator: acquire the link, hold it for the transfer time."""
+        request = self._channel.request()
+        yield request
+        duration = self.spec.transfer_time(nbytes)
+        start = self.env.now
+        try:
+            yield self.env.timeout(duration)
+            self.bytes_transferred += nbytes
+        finally:
+            self.busy_time += self.env.now - start
+            self._channel.release(request)
+
+    def utilization(self, horizon: Optional[float] = None) -> float:
+        """Fraction of time the link was busy up to ``horizon`` (default: now)."""
+        horizon = self.env.now if horizon is None else horizon
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / horizon)
+
+
+@dataclass
+class NetworkFabric:
+    """Collection of named links between simulation entities."""
+
+    env: Environment
+    links: Dict[Tuple[str, str], Link] = field(default_factory=dict)
+
+    def add_link(self, src: str, dst: str, spec: LinkSpec) -> Link:
+        link = Link(self.env, spec, name=f"{src}->{dst}")
+        self.links[(src, dst)] = link
+        return link
+
+    def link(self, src: str, dst: str) -> Link:
+        try:
+            return self.links[(src, dst)]
+        except KeyError:
+            raise KeyError(f"no link registered between {src!r} and {dst!r}") from None
+
+    def transfer(self, src: str, dst: str, nbytes: float) -> Generator:
+        return self.link(src, dst).transfer(nbytes)

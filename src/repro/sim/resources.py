@@ -1,0 +1,200 @@
+"""Shared-resource primitives for the simulation engine.
+
+Three primitives cover everything the Laminar reproduction needs:
+
+* :class:`Store` — an unbounded (or bounded) FIFO queue of Python objects.
+  The prompt pool, partial-response pool and experience buffer are stores.
+* :class:`Resource` — a counted resource with a wait queue (e.g. an RDMA NIC
+  that only one broadcast may use at a time).
+* :class:`Container` — a continuous quantity with put/get (e.g. KVCache
+  blocks on a rollout replica).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+from .engine import Environment, Event, SimulationError
+
+
+class StorePut(Event):
+    """Request to place ``item`` into a store."""
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._trigger()
+
+
+class StoreGet(Event):
+    """Request to take one item out of a store.
+
+    ``filter_fn`` restricts which items satisfy this request (used e.g. to
+    fetch trajectories belonging to a specific weight version).
+    """
+
+    def __init__(self, store: "Store", filter_fn: Optional[Callable[[Any], bool]] = None) -> None:
+        super().__init__(store.env)
+        self.filter_fn = filter_fn
+        store._get_queue.append(self)
+        store._trigger()
+
+
+class Store:
+    """FIFO object store with optional capacity and filtered gets."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._put_queue: Deque[StorePut] = deque()
+        self._get_queue: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        return StorePut(self, item)
+
+    def get(self, filter_fn: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        return StoreGet(self, filter_fn)
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Satisfy puts while capacity remains.
+            while self._put_queue and len(self.items) < self.capacity:
+                put = self._put_queue.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            # Satisfy gets for which a matching item exists.
+            remaining: Deque[StoreGet] = deque()
+            while self._get_queue:
+                get = self._get_queue.popleft()
+                index = self._find(get.filter_fn)
+                if index is None:
+                    remaining.append(get)
+                else:
+                    item = self.items.pop(index)
+                    get.succeed(item)
+                    progressed = True
+            self._get_queue = remaining
+
+    def _find(self, filter_fn: Optional[Callable[[Any], bool]]) -> Optional[int]:
+        if filter_fn is None:
+            return 0 if self.items else None
+        for index, item in enumerate(self.items):
+            if filter_fn(item):
+                return index
+        return None
+
+
+class ResourceRequest(Event):
+    """Pending acquisition of one unit of a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._queue.append(self)
+        resource._trigger()
+
+    def __enter__(self) -> "ResourceRequest":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """Counted resource with ``capacity`` concurrent holders."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.users: List[ResourceRequest] = []
+        self._queue: Deque[ResourceRequest] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of units currently held."""
+        return len(self.users)
+
+    def request(self) -> ResourceRequest:
+        return ResourceRequest(self)
+
+    def release(self, request: ResourceRequest) -> None:
+        if request in self.users:
+            self.users.remove(request)
+        elif request in self._queue:
+            self._queue.remove(request)
+        self._trigger()
+
+    def _trigger(self) -> None:
+        while self._queue and len(self.users) < self.capacity:
+            request = self._queue.popleft()
+            self.users.append(request)
+            request.succeed()
+
+
+class ContainerPut(Event):
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise SimulationError("put amount must be positive")
+        super().__init__(container.env)
+        self.amount = amount
+        container._put_queue.append(self)
+        container._trigger()
+
+
+class ContainerGet(Event):
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise SimulationError("get amount must be positive")
+        super().__init__(container.env)
+        self.amount = amount
+        container._get_queue.append(self)
+        container._trigger()
+
+
+class Container:
+    """A continuous quantity bounded by ``capacity`` (e.g. KVCache blocks)."""
+
+    def __init__(self, env: Environment, capacity: float, init: float = 0.0) -> None:
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise SimulationError("init must lie within [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self.level = float(init)
+        self._put_queue: Deque[ContainerPut] = deque()
+        self._get_queue: Deque[ContainerGet] = deque()
+
+    def put(self, amount: float) -> ContainerPut:
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        return ContainerGet(self, amount)
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._put_queue and self.level + self._put_queue[0].amount <= self.capacity:
+                put = self._put_queue.popleft()
+                self.level += put.amount
+                put.succeed()
+                progressed = True
+            while self._get_queue and self._get_queue[0].amount <= self.level:
+                get = self._get_queue.popleft()
+                self.level -= get.amount
+                get.succeed()
+                progressed = True

@@ -1,0 +1,5 @@
+"""Trainer module: actor update loop, weight versioning, iteration records."""
+
+from .trainer import IterationRecord, Trainer, TrainerConfig
+
+__all__ = ["IterationRecord", "Trainer", "TrainerConfig"]

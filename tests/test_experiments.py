@@ -1,0 +1,163 @@
+"""Tests for the experiment drivers (figures/tables) and the throughput model."""
+
+import pytest
+
+from repro.experiments import (
+    continuous_replica_rate,
+    figure2_distributions,
+    figure4_decode_latency,
+    figure13_profiles,
+    figure14_weight_sync,
+    figure16_repack_efficiency,
+    figure17_length_distributions,
+    figure18_broadcast_latency,
+    make_system_config,
+    measure_areal,
+    measure_laminar,
+    measure_point,
+    replica_batch_cycle,
+    scaling_efficiency_from_points,
+    speedup_table,
+    table2_rows,
+    table3_hyperparameters,
+)
+
+
+# --------------------------------------------------------------------------- component rates
+@pytest.fixture(scope="module")
+def laminar_cycle():
+    config = make_system_config("laminar", "7B", 64)
+    return replica_batch_cycle(config, seed=0)
+
+
+def test_replica_batch_cycle_invariants(laminar_cycle):
+    cycle = laminar_cycle
+    assert cycle.total_tokens > 0
+    assert 0 < cycle.release_time <= cycle.full_duration
+    assert cycle.rate_with_repack >= cycle.rate_without_repack
+    assert 0.0 < cycle.mean_kvcache_utilization <= 1.0
+
+
+def test_repack_improves_generation_rate_and_kvcache(laminar_cycle):
+    """Fig 16 / Table 1: repack raises generation throughput and KVCache use."""
+    cycle = laminar_cycle
+    gain = cycle.rate_with_repack / cycle.rate_without_repack
+    assert 1.0 < gain < 4.0
+    assert cycle.mean_kvcache_utilization_to_release >= cycle.mean_kvcache_utilization - 1e-9
+
+
+def test_continuous_replica_rate_positive():
+    config = make_system_config("areal", "7B", 64)
+    profile = continuous_replica_rate(config, horizon=120.0, seed=0)
+    assert profile.tokens_per_second > 1000
+    assert profile.mean_inflight > 1
+    assert profile.mean_inflight_context > 100
+
+
+# --------------------------------------------------------------------------- throughput model
+@pytest.fixture(scope="module")
+def throughput_points():
+    points = []
+    for system in ("verl", "one_step", "stream_gen", "areal", "laminar"):
+        kwargs = dict(batch_scale=1 / 8, num_iterations=2, warmup_iterations=0) \
+            if system in ("verl", "one_step", "stream_gen") else {}
+        points.append(measure_point(system, "7B", 256, **kwargs))
+    return points
+
+
+def test_laminar_has_highest_throughput_at_scale(throughput_points):
+    """Fig 11a at 256 GPUs: Laminar wins, and by a substantial factor over verl."""
+    by_system = {p.system: p for p in throughput_points}
+    laminar = by_system["laminar"].throughput
+    assert laminar == max(p.throughput for p in throughput_points)
+    assert laminar / by_system["verl"].throughput > 1.5
+    assert laminar / by_system["areal"].throughput > 1.05
+
+
+def test_throughput_points_have_positive_components(throughput_points):
+    for point in throughput_points:
+        assert point.throughput > 0
+        assert point.iteration_time > 0
+        assert point.details["training_time"] > 0
+        row = point.as_dict()
+        assert row["system"] == point.system and row["gpus"] == 256
+
+
+def test_speedup_table_and_scaling_efficiency(throughput_points):
+    table = speedup_table(throughput_points)
+    assert table["verl"][256] == pytest.approx(1.0)
+    assert table["laminar"][256] > 1.0
+    small = measure_laminar(make_system_config("laminar", "7B", 16))
+    points = [small] + [p for p in throughput_points if p.system == "laminar"]
+    efficiency = scaling_efficiency_from_points(points, "laminar")
+    assert 0.0 < efficiency <= 1.5
+
+
+def test_laminar_estimated_staleness_is_small():
+    point = measure_laminar(make_system_config("laminar", "7B", 128))
+    assert point.details["estimated_max_staleness"] <= 8
+
+
+def test_areal_pays_reprefill_overhead():
+    point = measure_areal(make_system_config("areal", "7B", 128))
+    assert point.details["reprefill_time_per_update"] > 0
+    assert point.throughput > 0
+
+
+# --------------------------------------------------------------------------- figure drivers
+def test_figure2_and_17_distribution_shapes():
+    fig2 = figure2_distributions(num_samples=20_000)
+    assert fig2["response_length"]["skew_p99_over_p50"] > 4.0
+    assert fig2["env_latency"]["p99"] > fig2["env_latency"]["p50"]
+    fig17 = figure17_length_distributions(num_samples=10_000)
+    assert set(fig17) == {"math-7B", "math-32B", "math-72B", "tool-7B"}
+    for stats in fig17.values():
+        assert stats["p99"] > stats["p50"]
+
+
+def test_figure4_decode_latency_series():
+    series = figure4_decode_latency(batch_sizes=[1, 8, 64, 256])
+    assert set(series) == {"7B, TP=1", "7B, TP=2", "7B, TP=4",
+                           "32B, TP=2", "32B, TP=4", "32B, TP=8"}
+    for label, curve in series.items():
+        assert curve[8] < 1.3 * curve[1]  # near-flat in the memory-bound regime
+        assert curve[256] >= curve[8]
+    assert series["32B, TP=8"][64] < series["32B, TP=2"][64]
+
+
+def test_figure13_profiles_use_throughput_model():
+    profiles = figure13_profiles("7B", 32)
+    names = {p.name for p in profiles}
+    assert names == {"verl", "one_step", "stream_gen", "areal", "laminar"}
+    by_name = {p.name: p for p in profiles}
+    assert by_name["laminar"].iteration_time < by_name["verl"].iteration_time
+    assert by_name["areal"].algorithm == "decoupled_ppo"
+    assert by_name["verl"].mean_staleness == 0.0
+
+
+def test_figure14_weight_sync_scaling():
+    fig14 = figure14_weight_sync("32B", rollout_gpu_counts=[64, 512])
+    assert fig14[64]["laminar_mean"] < fig14[64]["gpu_direct"]
+    assert fig14[512]["gpu_direct"] >= fig14[64]["gpu_direct"]
+
+
+def test_figure16_repack_efficiency_gain():
+    fig16 = figure16_repack_efficiency("7B", 64)
+    assert fig16["throughput_gain"] > 1.0
+    assert fig16["replica_release_time"] <= fig16["replica_cycle_time"]
+
+
+def test_figure18_broadcast_latency_magnitudes():
+    fig18 = figure18_broadcast_latency()
+    assert fig18["72B"][128] > fig18["32B"][128]
+    assert fig18["72B"][128] < 6.0  # seconds, §4.2 says ~1.6 s measured
+
+
+def test_table2_and_table3_shapes():
+    rows = table2_rows()
+    assert {r["system"] for r in rows} == {"verl", "one_step", "stream_gen", "areal", "laminar"}
+    table3 = table3_hyperparameters()
+    assert table3["verl"]["max_staleness"] == 0
+    assert table3["areal"]["algorithm"] == "Decoupled PPO"
+    assert table3["laminar"]["sampling"] == "FIFO"
+    assert all(row["group_size"] == 16 for row in table3.values())

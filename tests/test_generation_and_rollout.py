@@ -1,0 +1,230 @@
+"""Tests for the replica generation engine, environments and trajectory types."""
+
+import numpy as np
+import pytest
+
+from repro.rollout import (
+    ReplicaGenerationState,
+    RolloutReplicaConfig,
+    SequenceState,
+    SimulatedEnvironment,
+    TrajectoryFactory,
+    TurnSchedule,
+    build_sequence_states,
+)
+from repro.llm import QWEN_7B
+from repro.sim import KVCacheConfig
+from repro.types import Prompt, Trajectory
+from repro.workload import PromptDataset, math_task, tool_task
+
+
+def make_replica(max_concurrency=64, blocks=4096, tp=1):
+    config = RolloutReplicaConfig(QWEN_7B, tensor_parallel=tp, max_concurrency=max_concurrency)
+    return ReplicaGenerationState(
+        replica_id=0,
+        decode_model=config.decode_model(),
+        kvcache_config=KVCacheConfig(total_blocks=blocks),
+        max_concurrency=max_concurrency,
+    )
+
+
+def make_states(lengths, prompt_tokens=64, start_id=0):
+    states = []
+    for offset, length in enumerate(lengths):
+        prompt = Prompt(prompt_id=start_id + offset, group_id=0, prompt_tokens=prompt_tokens)
+        trajectory = Trajectory(traj_id=start_id + offset, prompt=prompt, target_tokens=length)
+        states.append(SequenceState(trajectory=trajectory, schedule=TurnSchedule.single_turn(length)))
+    return states
+
+
+# --------------------------------------------------------------------------- types
+def test_trajectory_progress_and_staleness():
+    prompt = Prompt(prompt_id=0, group_id=0, prompt_tokens=100)
+    trajectory = Trajectory(traj_id=0, prompt=prompt, target_tokens=50, weight_version=2)
+    trajectory.advance(30, weight_version=2)
+    assert not trajectory.done and trajectory.remaining_tokens == 20
+    trajectory.advance(40, weight_version=3)
+    assert trajectory.done and trajectory.generated_tokens == 50
+    assert trajectory.mixed_versions
+    assert trajectory.inherent_staleness(actor_version_at_finish=5) == 3
+    assert trajectory.total_tokens == 150
+
+
+def test_turn_schedule_validation():
+    with pytest.raises(ValueError):
+        TurnSchedule(segments=[], env_latencies=[])
+    with pytest.raises(ValueError):
+        TurnSchedule(segments=[10], env_latencies=[1.0, 2.0])
+    schedule = TurnSchedule(segments=[10, 20], env_latencies=[3.0, 0.0])
+    assert schedule.total_tokens == 30 and schedule.num_turns == 2
+
+
+# --------------------------------------------------------------------------- engine basics
+def test_single_sequence_completion_time_matches_decode_model():
+    replica = make_replica()
+    states = make_states([100])
+    replica.add_sequences(states)
+    duration, done = replica.run_to_completion()
+    assert len(done) == 1 and done[0].done
+    step = replica.decode_model.decode_step_time(1, 64 + 50)
+    # 100 decode steps at roughly the single-sequence step time.
+    assert duration == pytest.approx(100 * step, rel=0.25)
+    assert replica.stats.tokens_generated == 100
+    assert replica.is_idle
+
+
+def test_completion_order_follows_length():
+    replica = make_replica()
+    replica.add_sequences(make_states([500, 50, 200]))
+    _, done = replica.run_to_completion()
+    assert [t.traj_id for t in sorted(done, key=lambda t: t.finish_time)] == [1, 2, 0]
+
+
+def test_batched_decode_is_faster_than_serial():
+    lengths = [200] * 16
+    batched = make_replica()
+    batched.add_sequences(make_states(lengths))
+    batched_time, _ = batched.run_to_completion()
+
+    serial_total = 0.0
+    for i, length in enumerate(lengths):
+        replica = make_replica()
+        replica.add_sequences(make_states([length], start_id=100 + i))
+        duration, _ = replica.run_to_completion()
+        serial_total += duration
+    assert batched_time < 0.25 * serial_total
+
+
+def test_interrupted_advance_preserves_token_accounting():
+    replica = make_replica()
+    replica.add_sequences(make_states([300, 300]))
+    total_target = 600
+    # Advance in many small, unaligned windows (as the Laminar loop does).
+    while not replica.is_idle:
+        delta = replica.next_event_in()
+        if delta is None:
+            break
+        replica.advance(min(delta, 0.37))
+    assert replica.stats.tokens_generated == total_target
+
+
+def test_kvcache_queueing_and_preemption_free_progress():
+    # Tiny cache: only ~2 sequences fit concurrently; the rest wait.
+    replica = make_replica(blocks=64)
+    replica.add_sequences(make_states([200] * 6, prompt_tokens=128))
+    assert replica.num_decoding < 6
+    assert replica.num_queued > 0
+    _, done = replica.run_to_completion()
+    assert len(done) == 6
+    assert all(t.done for t in done)
+
+
+def test_remove_sequences_releases_cache_and_requeues_elsewhere():
+    replica = make_replica()
+    states = make_states([400, 700, 1000])
+    replica.add_sequences(states)
+    replica.advance(replica.next_event_in())  # the shortest sequence completes
+    removed = replica.remove_all()
+    assert len(removed) == 2
+    assert replica.is_idle
+    assert replica.kvcache.used_blocks == 0
+    # Migrated sequences resume on another replica and still finish.
+    other = make_replica()
+    for state in removed:
+        state.needs_reprefill = True
+    other.add_sequences(removed)
+    _, done = other.run_to_completion()
+    assert len(done) == 2
+    assert other.stats.reprefill_tokens > 0
+
+
+def test_multi_turn_env_wait_blocks_decoding():
+    replica = make_replica()
+    schedule = TurnSchedule(segments=[50, 50], env_latencies=[30.0, 0.0])
+    prompt = Prompt(prompt_id=0, group_id=0, prompt_tokens=64, multi_turn=True, max_turns=2)
+    trajectory = Trajectory(traj_id=0, prompt=prompt, target_tokens=100)
+    replica.add_sequences([SequenceState(trajectory=trajectory, schedule=schedule)])
+    duration, done = replica.run_to_completion()
+    assert len(done) == 1
+    assert done[0].turns_done == 2
+    assert duration > 30.0  # the environment latency is on the critical path
+    assert replica.stats.env_blocked_time > 0.0
+
+
+def test_inject_stall_and_weight_version_guard():
+    replica = make_replica()
+    replica.inject_stall(5.0, busy=False)
+    assert replica.clock == 5.0
+    replica.set_weight_version(3)
+    with pytest.raises(ValueError):
+        replica.set_weight_version(1)
+    with pytest.raises(ValueError):
+        replica.inject_stall(-1.0)
+
+
+def test_reprefill_all_inflight_charges_time():
+    replica = make_replica()
+    replica.add_sequences(make_states([500, 800, 1100, 1400]))
+    replica.advance(replica.next_event_in())  # shortest finishes, three remain in flight
+    before = replica.clock
+    stall = replica.reprefill_all_inflight()
+    assert stall > 0
+    assert replica.clock == pytest.approx(before + stall)
+    assert all(s.trajectory.reprefill_count == 1 for s in replica.sequences())
+
+
+# --------------------------------------------------------------------------- factory / environment
+def test_trajectory_factory_is_deterministic_per_seed():
+    task = math_task("7B")
+    dataset = PromptDataset(task, num_questions=50, seed=0)
+    prompts = dataset.sample_batch(2, np.random.default_rng(0))
+    lengths_a = [s.trajectory.target_tokens for s in TrajectoryFactory(task, seed=7).make(prompts)]
+    lengths_b = [s.trajectory.target_tokens for s in TrajectoryFactory(task, seed=7).make(prompts)]
+    assert lengths_a == lengths_b
+
+
+def test_trajectory_factory_multi_turn_schedules():
+    task = tool_task("7B", max_turns=8)
+    dataset = PromptDataset(task, num_questions=20, seed=1)
+    prompts = dataset.sample_batch(2, np.random.default_rng(1))
+    states = TrajectoryFactory(task, seed=2).make(prompts)
+    assert any(s.schedule.num_turns > 1 for s in states)
+    for state in states:
+        assert state.schedule.num_turns <= 8
+        assert state.schedule.env_latencies[-1] == 0.0
+        assert state.schedule.total_tokens == state.trajectory.target_tokens
+
+
+def test_environment_scoring_rewards_are_binary_and_difficulty_sensitive():
+    task = math_task("7B")
+    env = SimulatedEnvironment(task, seed=0)
+    easy = Prompt(prompt_id=0, group_id=0, prompt_tokens=64, difficulty=0.05)
+    hard = Prompt(prompt_id=1, group_id=1, prompt_tokens=64, difficulty=0.95)
+    easy_rewards, hard_rewards = [], []
+    for i in range(300):
+        t_easy = Trajectory(traj_id=1000 + i, prompt=easy, target_tokens=100)
+        t_easy.advance(100, 0)
+        t_hard = Trajectory(traj_id=2000 + i, prompt=hard, target_tokens=100)
+        t_hard.advance(100, 0)
+        easy_rewards.append(env.score(t_easy))
+        hard_rewards.append(env.score(t_hard))
+    assert set(easy_rewards) <= {-1.0, 1.0}
+    assert np.mean(easy_rewards) > np.mean(hard_rewards)
+
+
+def test_build_sequence_states_alignment_check():
+    states = make_states([10, 20])
+    trajectories = [s.trajectory for s in states]
+    schedules = [s.schedule for s in states]
+    assert len(build_sequence_states(trajectories, schedules)) == 2
+    with pytest.raises(ValueError):
+        build_sequence_states(trajectories, schedules[:1])
+
+
+def test_replica_config_kvcache_sizing():
+    config = RolloutReplicaConfig(QWEN_7B, tensor_parallel=1)
+    kv = config.kvcache_config()
+    assert kv.total_tokens > 100_000  # most of an 80 GB GPU is KVCache for a 7B
+    from repro.llm import QWEN_72B
+    with pytest.raises(ValueError):
+        RolloutReplicaConfig(QWEN_72B, tensor_parallel=1).kvcache_config()

@@ -1,0 +1,198 @@
+"""Tests for the discrete-event simulation engine and resources."""
+
+import pytest
+
+from repro.sim import (
+    Container,
+    Environment,
+    Interrupt,
+    Resource,
+    SimulationError,
+    Store,
+)
+
+
+def test_timeout_ordering_and_clock():
+    env = Environment()
+    fired = []
+
+    def proc(delay, tag):
+        yield env.timeout(delay)
+        fired.append((tag, env.now))
+
+    env.process(proc(2.0, "b"))
+    env.process(proc(1.0, "a"))
+    env.run()
+    assert fired == [("a", 1.0), ("b", 2.0)]
+
+
+def test_fifo_tie_break_at_same_time():
+    env = Environment()
+    order = []
+
+    def proc(tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in "abc":
+        env.process(proc(tag))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_process_return_value_and_waiting_on_process():
+    env = Environment()
+
+    def child():
+        yield env.timeout(3.0)
+        return 42
+
+    def parent():
+        value = yield env.process(child())
+        return value + 1
+
+    result = env.run(env.process(parent()))
+    assert result == 43
+    assert env.now == 3.0
+
+
+def test_run_until_time_stops_clock():
+    env = Environment()
+
+    def proc():
+        while True:
+            yield env.timeout(1.0)
+
+    env.process(proc())
+    env.run(until=5.5)
+    assert env.now == 5.5
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    seen = {}
+
+    def victim():
+        try:
+            yield env.timeout(10.0)
+        except Interrupt as interrupt:
+            seen["cause"] = interrupt.cause
+            seen["time"] = env.now
+
+    def attacker(process):
+        yield env.timeout(2.0)
+        process.interrupt(cause="repack")
+
+    victim_proc = env.process(victim())
+    env.process(attacker(victim_proc))
+    env.run()
+    assert seen == {"cause": "repack", "time": 2.0}
+
+
+def test_event_and_or_composition():
+    env = Environment()
+    results = {}
+
+    def proc():
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(5.0, value="slow")
+        first = yield (t1 | t2)
+        results["any_time"] = env.now
+        results["any_values"] = list(first.values())
+        both = yield (t1 & t2)
+        results["all_time"] = env.now
+        results["n_done"] = len(both)
+
+    env.process(proc())
+    env.run()
+    assert results["any_time"] == 1.0
+    assert results["any_values"] == ["fast"]
+    assert results["all_time"] == 5.0
+    assert results["n_done"] == 2
+
+
+def test_store_put_get_and_filter():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        for item in ("x", "y", "z"):
+            yield store.put(item)
+            yield env.timeout(1.0)
+
+    def consumer():
+        item = yield store.get(lambda v: v == "y")
+        got.append((item, env.now))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == [("y", 1.0)]
+    assert store.items == ["x", "z"]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer():
+        yield store.put(1)
+        start = env.now
+        yield store.put(2)  # blocks until the consumer removes item 1
+        times.append((start, env.now))
+
+    def consumer():
+        yield env.timeout(4.0)
+        yield store.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert times == [(0.0, 4.0)]
+
+
+def test_resource_serializes_holders():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    spans = []
+
+    def worker(tag):
+        request = resource.request()
+        yield request
+        start = env.now
+        yield env.timeout(2.0)
+        resource.release(request)
+        spans.append((tag, start, env.now))
+
+    env.process(worker("a"))
+    env.process(worker("b"))
+    env.run()
+    assert spans == [("a", 0.0, 2.0), ("b", 2.0, 4.0)]
+
+
+def test_container_get_blocks_until_level():
+    env = Environment()
+    container = Container(env, capacity=10, init=0)
+    events = []
+
+    def filler():
+        yield env.timeout(3.0)
+        yield container.put(5)
+
+    def drainer():
+        yield container.get(4)
+        events.append(env.now)
+
+    env.process(filler())
+    env.process(drainer())
+    env.run()
+    assert events == [3.0]
+    assert container.level == 1
