@@ -1,10 +1,18 @@
 """Fig 11 (a-c) and Fig 12: end-to-end training throughput, and the §8.1
-speedup / scaling-efficiency numbers derived from them."""
+speedup / scaling-efficiency numbers derived from them.
+
+Fig 12 goes through the ``repro.bench`` scenario registry + matrix runner
+(the same path as ``repro-bench run --scenario throughput_7b_tool``); the
+Fig 11 sweeps still call the experiment drivers directly.
+"""
+
+from dataclasses import replace
 
 import pytest
 
 from conftest import BATCH_SCALE, FULL, report, run_once
 
+from repro.bench import get_scenario, run_scenarios
 from repro.experiments import (
     MODEL_SCALES,
     SYSTEMS,
@@ -47,9 +55,16 @@ def test_fig11_scaling_efficiency(benchmark):
 
 
 def test_fig12_throughput_tool(benchmark):
-    points = run_once(benchmark, _sweep, "7B", "tool")
-    report("Figure 12 (7B, tool-calling) throughput [tokens/s]",
-           [p.as_dict() for p in points])
-    largest = max(p.total_gpus for p in points)
-    at_largest = {p.system: p.throughput for p in points if p.total_gpus == largest}
+    scenario = get_scenario("throughput_7b_tool")
+    if FULL:
+        scenario = replace(scenario, gpu_scales=tuple(MODEL_SCALES["7B"]),
+                           batch_scale=1.0, timeout_s=3600.0)
+    (result,) = run_once(benchmark, run_scenarios, [scenario], jobs=1)
+    assert result.status == "ok"
+    report("Figure 12 (7B, tool-calling) throughput [tokens/s] via repro.bench",
+           [u.as_dict() for u in result.units])
+    largest = max(u.total_gpus for u in result.units)
+    at_largest = {u.system: u.metrics["throughput_tok_s"]
+                  for u in result.units if u.total_gpus == largest}
     assert at_largest["laminar"] == max(at_largest.values())
+    assert result.summary["best_system_by_scale"][str(largest)] == "laminar"

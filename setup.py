@@ -1,5 +1,30 @@
-"""Legacy setup shim so editable installs work without the ``wheel`` package."""
+"""Package metadata for the Laminar reproduction.
 
-from setuptools import setup
+Kept as ``setup.py`` (rather than pyproject.toml) so editable installs work
+without the ``wheel``/``build`` packages in minimal environments:
+``pip install -e . --no-build-isolation``.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="laminar-repro",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Laminar: A Scalable Asynchronous RL Post-Training "
+        "Framework' — simulator, baselines, experiment drivers and the "
+        "repro-bench scenario matrix runner."
+    ),
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+    extras_require={"test": ["pytest", "pytest-benchmark"]},
+    entry_points={
+        "console_scripts": [
+            "repro-bench = repro.bench.cli:main",
+        ],
+    },
+)

@@ -15,12 +15,30 @@ The package is organised as:
 * :mod:`repro.baselines` — verl, one-step staleness, stream generation, AReaL.
 * :mod:`repro.algorithms` — GRPO / Decoupled PPO on a synthetic reasoning task.
 * :mod:`repro.experiments` — one driver per table/figure of the evaluation.
+* :mod:`repro.bench` — scenario registry, parallel matrix benchmark runner,
+  persisted + regression-gated results (``repro-bench`` CLI).
 """
 
 from .config import SystemConfig, default_trainer_parallel
 from .types import Experience, Prompt, Trajectory, WeightVersion
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Benchmark API re-exported lazily (PEP 562) so that ``import repro`` does
+#: not pull in the full experiments stack.
+_BENCH_EXPORTS = (
+    "ScenarioConfig",
+    "ScenarioResult",
+    "SCENARIOS",
+    "all_scenarios",
+    "get_scenario",
+    "select_scenarios",
+    "register_scenario",
+    "run_scenarios",
+    "compare_runs",
+    "save_artifact",
+    "load_artifact",
+)
 
 __all__ = [
     "SystemConfig",
@@ -29,5 +47,17 @@ __all__ = [
     "Prompt",
     "Trajectory",
     "WeightVersion",
+    "bench",
     "__version__",
+    *_BENCH_EXPORTS,
 ]
+
+
+def __getattr__(name):
+    if name == "bench" or name in _BENCH_EXPORTS:
+        from . import bench
+
+        if name == "bench":
+            return bench
+        return getattr(bench, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

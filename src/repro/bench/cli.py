@@ -1,0 +1,228 @@
+"""``repro-bench`` / ``python -m repro.bench`` command-line interface.
+
+Workflow::
+
+    repro-bench list                         # scenario catalog
+    repro-bench run --scenario throughput_smoke --jobs 2 --export BENCH_smoke.json
+    repro-bench run --scenario smoke --compare      # regression-gate vs stored artifact
+    repro-bench compare --baseline BENCH_smoke.json # re-run + gate against an artifact
+
+``run`` persists results to ``BENCH_<scenario>.json`` artifacts (or a single
+``--export`` file) and, with ``--compare``, gates the fresh results against
+the previously stored baseline before overwriting it.  Exit status is 0 on
+success / no regression and 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .compare import DEFAULT_TOLERANCE, compare_runs
+from .registry import ScenarioConfig, all_scenarios, get_scenario, select_scenarios
+from .report import render_comparison, render_results, render_scenario_list
+from .runner import ScenarioResult, UnitResult, run_scenarios
+from .store import (
+    default_artifact_path,
+    load_artifact,
+    load_results,
+    results_from_artifact,
+    save_artifact,
+    scenario_ids,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Scenario registry + parallel matrix benchmark runner for the "
+                    "Laminar reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="list registered scenarios")
+    list_cmd.add_argument("--tag", action="append", default=[],
+                          help="only scenarios carrying this tag (repeatable)")
+    list_cmd.add_argument("-v", "--verbose", action="store_true",
+                          help="include scenario descriptions")
+
+    run_cmd = sub.add_parser("run", help="run scenarios and persist results")
+    run_cmd.add_argument("--scenario", action="append", default=[], metavar="PATTERN",
+                         help="scenario id, glob, substring or tag (repeatable; "
+                              "default: 'smoke')")
+    run_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="parallel worker processes (default: 1)")
+    run_cmd.add_argument("--export", metavar="PATH",
+                         help="write all results into one artifact at PATH "
+                              "(default: one BENCH_<scenario>.json per scenario)")
+    run_cmd.add_argument("--outdir", default=".", metavar="DIR",
+                         help="directory for per-scenario artifacts (default: .)")
+    run_cmd.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                         help="override every scenario's per-unit timeout")
+    run_cmd.add_argument("--compare", action="store_true",
+                         help="regression-gate against the stored baseline before "
+                              "overwriting it")
+    run_cmd.add_argument("--baseline", metavar="PATH",
+                         help="baseline artifact for --compare (default: the "
+                              "artifact paths the run would write to)")
+    run_cmd.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                         help=f"relative regression tolerance (default: {DEFAULT_TOLERANCE})")
+    run_cmd.add_argument("--no-save", action="store_true",
+                         help="do not persist results")
+
+    cmp_cmd = sub.add_parser("compare", help="gate a run against a baseline artifact")
+    cmp_cmd.add_argument("--baseline", required=True, action="append", metavar="PATH",
+                         help="baseline artifact(s) (repeatable; merged)")
+    cmp_cmd.add_argument("--candidate", action="append", default=[], metavar="PATH",
+                         help="candidate artifact(s); omit to re-run the baseline's "
+                              "scenarios now")
+    cmp_cmd.add_argument("--scenario", action="append", default=[], metavar="PATTERN",
+                         help="restrict the comparison to matching scenarios")
+    cmp_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="parallel workers when re-running (default: 1)")
+    cmp_cmd.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                         help=f"relative regression tolerance (default: {DEFAULT_TOLERANCE})")
+    return parser
+
+
+def _progress(unit: UnitResult) -> None:
+    marker = "ok" if unit.status == "ok" else unit.status.upper()
+    print(f"  [{marker}] {unit.scenario_id} {unit.label}", flush=True)
+
+
+def _baseline_paths(args: argparse.Namespace, scenarios: Sequence[ScenarioConfig]) -> List[str]:
+    """Where ``run --compare`` finds its baseline: --baseline, --export, or the
+    per-scenario default artifact locations."""
+    if args.baseline:
+        return [args.baseline]
+    if args.export:
+        return [args.export]
+    return [default_artifact_path(s.id, args.outdir) for s in scenarios]
+
+
+def _load_baseline(paths: Sequence[str]) -> List[ScenarioResult]:
+    results: List[ScenarioResult] = []
+    existing = [p for p in paths if os.path.exists(p)]
+    if not existing:
+        return results
+    _, results = load_results(existing)
+    return results
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    scenarios = all_scenarios()
+    if args.tag:
+        scenarios = [s for s in scenarios if any(t in s.tags for t in args.tag)]
+    print(render_scenario_list(scenarios, verbose=args.verbose))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if args.tolerance < 0:
+        raise ValueError("--tolerance must be non-negative")
+    patterns = args.scenario or ["smoke"]
+    scenarios = select_scenarios(patterns)
+    print(f"running {len(scenarios)} scenario(s): "
+          + ", ".join(s.id for s in scenarios), flush=True)
+
+    baseline: List[ScenarioResult] = []
+    if args.compare:
+        # Only gate the scenarios this run executes; a baseline artifact may
+        # hold results for others (e.g. a shared --export file).
+        selected_ids = {s.id for s in scenarios}
+        baseline = [r for r in _load_baseline(_baseline_paths(args, scenarios))
+                    if r.scenario_id in selected_ids]
+        if not baseline:
+            print("note: no baseline artifact found; all units will report "
+                  "'no-baseline'", flush=True)
+
+    results = run_scenarios(
+        scenarios, jobs=args.jobs, timeout_s=args.timeout, progress=_progress
+    )
+    print()
+    print(render_results(results))
+
+    exit_code = 0 if all(r.status == "ok" for r in results) else 1
+    if args.compare:
+        report = compare_runs(results, baseline, tolerance=args.tolerance)
+        print()
+        print(render_comparison(report))
+        if not report.passed:
+            exit_code = 1
+            if not args.no_save:
+                # Never replace a healthy baseline with regressed results:
+                # that would mask the regression on the next gated run.
+                print("\nregression gate failed: results NOT persisted")
+                return exit_code
+
+    if not args.no_save:
+        if args.export:
+            save_artifact(results, args.export, configs=scenarios)
+            print(f"\nwrote {args.export}")
+        else:
+            by_id: Dict[str, ScenarioConfig] = {s.id: s for s in scenarios}
+            for result in results:
+                path = default_artifact_path(result.scenario_id, args.outdir)
+                save_artifact([result], path, configs=[by_id[result.scenario_id]])
+                print(f"wrote {path}")
+    return exit_code
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    if args.tolerance < 0:
+        raise ValueError("--tolerance must be non-negative")
+    _, baseline = load_results(args.baseline)
+    if args.scenario:
+        keep = {s.id for s in select_scenarios(args.scenario)}
+        baseline = [r for r in baseline if r.scenario_id in keep]
+        if not baseline:
+            print("error: no baseline scenarios match the given patterns",
+                  file=sys.stderr)
+            return 1
+
+    if args.candidate:
+        _, candidate = load_results(args.candidate)
+        if args.scenario:
+            keep = {r.scenario_id for r in baseline}
+            candidate = [r for r in candidate if r.scenario_id in keep]
+    else:
+        configs: List[ScenarioConfig] = []
+        for result in baseline:
+            try:
+                configs.append(get_scenario(result.scenario_id))
+            except KeyError:
+                print(f"note: scenario {result.scenario_id!r} is no longer "
+                      f"registered; skipping re-run", flush=True)
+        baseline = [r for r in baseline if r.scenario_id in {c.id for c in configs}]
+        print(f"re-running {len(configs)} scenario(s) from the baseline artifact",
+              flush=True)
+        candidate = run_scenarios(configs, jobs=args.jobs, progress=_progress)
+
+    report = compare_runs(candidate, baseline, tolerance=args.tolerance)
+    print()
+    print(render_comparison(report))
+    return 0 if report.passed else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"list": cmd_list, "run": cmd_run, "compare": cmd_compare}
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:  # e.g. `repro-bench list | head`
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    except (KeyError, ValueError) as exc:  # bad pattern / config / artifact
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    except OSError as exc:  # unreadable/missing artifact or export path
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

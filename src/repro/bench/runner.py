@@ -1,0 +1,441 @@
+"""Parallel matrix runner for the scenario registry.
+
+:func:`run_scenarios` expands every selected :class:`ScenarioConfig` into its
+(system × GPU scale × variant) units, executes them — serially or on a
+``ProcessPoolExecutor`` with per-unit timeouts — and regroups the structured
+:class:`UnitResult`s into per-scenario :class:`ScenarioResult`s.
+
+Unit execution is fully deterministic for a fixed scenario seed: every unit
+derives its own seed from the grid index, so results are bit-identical
+between ``jobs=1`` and ``jobs=N`` (the harness-measured ``elapsed_s`` is kept
+outside the comparable payload).
+"""
+
+from __future__ import annotations
+
+import math
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, CancelledError, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..config import SystemConfig
+from ..experiments.placements import make_system_config
+from .registry import ScenarioConfig, ScenarioUnit, overrides_dict
+
+#: Per-kind primary metric used for summaries and regression comparison.
+PRIMARY_METRICS: Dict[str, Tuple[str, bool]] = {
+    "throughput": ("throughput_tok_s", True),
+    "staleness_bound": ("throughput_tok_s", True),
+    "convergence": ("final_reward", True),
+    "repack_ablation": ("throughput_gain", True),
+    "fault_injection": ("throughput_tok_s", True),
+}
+
+@dataclass
+class UnitResult:
+    """Outcome of one scenario grid point."""
+
+    scenario_id: str
+    system: str
+    model_size: str
+    total_gpus: int
+    variant: str
+    seed: int
+    status: str = "ok"  # ok | failed | timeout
+    metrics: Dict[str, float] = field(default_factory=dict)
+    error: str = ""
+
+    @property
+    def key(self) -> Tuple[str, str, int, str]:
+        return (self.scenario_id, self.system, self.total_gpus, self.variant)
+
+    @property
+    def label(self) -> str:
+        parts = [self.system, f"{self.model_size}/{self.total_gpus}gpu"]
+        if self.variant:
+            parts.append(self.variant)
+        return ":".join(parts)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scenario_id": self.scenario_id,
+            "system": self.system,
+            "model_size": self.model_size,
+            "total_gpus": self.total_gpus,
+            "variant": self.variant,
+            "seed": self.seed,
+            "status": self.status,
+            "metrics": dict(sorted(self.metrics.items())),
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "UnitResult":
+        return cls(
+            scenario_id=str(payload["scenario_id"]),
+            system=str(payload["system"]),
+            model_size=str(payload["model_size"]),
+            total_gpus=int(payload["total_gpus"]),
+            variant=str(payload.get("variant", "")),
+            seed=int(payload.get("seed", 0)),
+            status=str(payload.get("status", "ok")),
+            metrics=dict(payload.get("metrics", {})),
+            error=str(payload.get("error", "")),
+        )
+
+
+@dataclass
+class ScenarioResult:
+    """All unit results of one scenario, plus scenario-level aggregates."""
+
+    scenario_id: str
+    kind: str
+    units: List[UnitResult] = field(default_factory=list)
+    summary: Dict[str, object] = field(default_factory=dict)
+    #: Harness wall-clock; informational only, excluded from comparisons.
+    elapsed_s: float = 0.0
+
+    @property
+    def status(self) -> str:
+        statuses = {u.status for u in self.units}
+        if "failed" in statuses:
+            return "failed"
+        if "timeout" in statuses:
+            return "timeout"
+        return "ok"
+
+    def comparable(self) -> Dict[str, object]:
+        """The deterministic payload: everything except harness timing."""
+        return {
+            "scenario_id": self.scenario_id,
+            "kind": self.kind,
+            "units": [u.as_dict() for u in self.units],
+            "summary": dict(sorted(self.summary.items())),
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        payload = self.comparable()
+        payload["status"] = self.status
+        payload["elapsed_s"] = self.elapsed_s
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ScenarioResult":
+        return cls(
+            scenario_id=str(payload["scenario_id"]),
+            kind=str(payload["kind"]),
+            units=[UnitResult.from_dict(u) for u in payload.get("units", [])],
+            summary=dict(payload.get("summary", {})),
+            elapsed_s=float(payload.get("elapsed_s", 0.0)),
+        )
+
+
+# --------------------------------------------------------------------------- unit executors
+def _build_config(unit: ScenarioUnit, config_overrides: Dict[str, object]) -> SystemConfig:
+    config = make_system_config(
+        unit.system, unit.model_size, unit.total_gpus, task_type=unit.task_type,
+        seed=unit.seed, **config_overrides,
+    )
+    if unit.batch_scale < 1.0:
+        config = config.scaled(unit.batch_scale)
+    return replace(config, num_iterations=unit.iterations, warmup_iterations=unit.warmup)
+
+
+def _run_throughput(unit: ScenarioUnit) -> Dict[str, float]:
+    from ..experiments.throughput import measure_areal, measure_batch_system, measure_laminar
+
+    config = _build_config(unit, overrides_dict(unit.overrides))
+    if unit.system == "laminar":
+        point = measure_laminar(config)
+    elif unit.system == "areal":
+        point = measure_areal(config)
+    else:
+        point = measure_batch_system(config)
+    metrics: Dict[str, float] = {
+        "throughput_tok_s": float(point.throughput),
+        "iteration_time_s": float(point.iteration_time),
+        "generation_bound": float(point.generation_bound),
+    }
+    metrics.update({k: float(v) for k, v in point.details.items()})
+    return metrics
+
+
+def _run_convergence(unit: ScenarioUnit) -> Dict[str, float]:
+    from ..algorithms.convergence import run_convergence
+    from ..algorithms.task import SyntheticReasoningTask
+    from ..experiments.figures import figure13_profiles
+
+    profiles = {
+        p.name: p
+        for p in figure13_profiles(unit.model_size, unit.total_gpus, seed=unit.base_seed)
+    }
+    profile = profiles[unit.system]
+    # Identical task seed across units so the systems race on the same problem.
+    task = SyntheticReasoningTask(seed=unit.base_seed)
+    curve = run_convergence(
+        profile, task=task, num_iterations=unit.iterations, seed=unit.base_seed
+    )
+    times = curve.times()
+    return {
+        "final_reward": float(curve.final_reward()),
+        "iterations": float(len(curve.points)),
+        "simulated_wall_clock_s": float(times[-1]) if times else 0.0,
+    }
+
+
+def _run_fault_injection(unit: ScenarioUnit) -> Dict[str, float]:
+    from ..core.fault_tolerance import FailureEvent, FailureInjector, FailureKind
+    from ..core.laminar import LaminarSystem
+
+    params = overrides_dict(unit.overrides)
+    failure_kind = str(params.pop("failure_kind", FailureKind.ROLLOUT_MACHINE))
+    failure_time = float(params.pop("failure_time", 60.0))
+    failure_target = int(params.pop("failure_target", 0))
+    reinit = bool(params.pop("reinit_succeeds", False))
+    config = _build_config(unit, params)
+    injector = FailureInjector()
+    injector.add(
+        FailureEvent(
+            time=failure_time, kind=failure_kind, target=failure_target,
+            reinit_succeeds=reinit,
+        )
+    )
+    system = LaminarSystem(config, failure_injector=injector)
+    result = system.run()
+    records = system.manager.recovery_records
+    return {
+        "throughput_tok_s": float(result.throughput(unit.warmup)),
+        "iterations_completed": float(len(result.iterations)),
+        "simulated_wall_clock_s": float(result.wall_clock),
+        "failures_handled": float(result.extras.get("failures_handled", 0.0)),
+        "recovery_seconds": float(records[0].downtime) if records else 0.0,
+        "trajectories_redirected": float(records[0].trajectories_redirected) if records else 0.0,
+        "trajectories_lost": float(records[0].trajectories_lost) if records else 0.0,
+        "training_continued": float(len(result.iterations) > 0),
+    }
+
+
+def _run_repack_ablation(unit: ScenarioUnit) -> Dict[str, float]:
+    from ..experiments.generation_rate import replica_batch_cycle
+
+    config = _build_config(unit, overrides_dict(unit.overrides))
+    cycle = replica_batch_cycle(config, seed=unit.seed)
+    without = cycle.rate_without_repack
+    return {
+        "generation_rate_with_repack": float(cycle.rate_with_repack),
+        "generation_rate_without_repack": float(without),
+        "throughput_gain": float(cycle.rate_with_repack / without) if without else float("inf"),
+        "kvcache_util_with_repack": float(cycle.mean_kvcache_utilization_to_release),
+        "kvcache_util_without_repack": float(cycle.mean_kvcache_utilization),
+        "replica_cycle_time_s": float(cycle.full_duration),
+        "replica_release_time_s": float(cycle.release_time),
+    }
+
+
+_EXECUTORS: Dict[str, Callable[[ScenarioUnit], Dict[str, float]]] = {
+    "throughput": _run_throughput,
+    "staleness_bound": _run_throughput,
+    "convergence": _run_convergence,
+    "fault_injection": _run_fault_injection,
+    "repack_ablation": _run_repack_ablation,
+}
+
+
+class _UnitTimeout(Exception):
+    """Raised inside a worker when its unit exceeds the time budget."""
+
+
+def _raise_unit_timeout(signum, frame):
+    raise _UnitTimeout()
+
+
+def execute_unit(unit: ScenarioUnit, timeout_s: Optional[float] = None) -> UnitResult:
+    """Run one grid point; never raises (errors become a failed UnitResult).
+
+    ``timeout_s`` arms a ``SIGALRM``-based budget around the unit (in the
+    parallel runner's worker processes the clock therefore starts when the
+    unit actually begins executing, not while it waits in the queue).  On
+    platforms without ``SIGALRM``, or off the main thread, the budget is not
+    enforced.
+    """
+    result = UnitResult(
+        scenario_id=unit.scenario_id,
+        system=unit.system,
+        model_size=unit.model_size,
+        total_gpus=unit.total_gpus,
+        variant=unit.variant,
+        seed=unit.seed,
+    )
+    armed = (
+        timeout_s is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if armed:
+        previous = signal.signal(signal.SIGALRM, _raise_unit_timeout)
+        signal.alarm(max(1, int(math.ceil(timeout_s))))
+    try:
+        result.metrics = _EXECUTORS[unit.kind](unit)
+    except _UnitTimeout:
+        result.status = "timeout"
+        result.error = f"unit exceeded {timeout_s:.0f}s budget"
+    except Exception:
+        result.status = "failed"
+        result.error = traceback.format_exc(limit=8)
+    finally:
+        if armed:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
+    return result
+
+
+# --------------------------------------------------------------------------- aggregation
+def summarise(kind: str, units: Sequence[UnitResult]) -> Dict[str, object]:
+    """Scenario-level aggregates over the unit grid."""
+    metric, _higher = PRIMARY_METRICS[kind]
+    ok = [u for u in units if u.status == "ok" and metric in u.metrics]
+    summary: Dict[str, object] = {
+        "primary_metric": metric,
+        "units_total": len(units),
+        "units_ok": sum(1 for u in units if u.status == "ok"),
+        "primary_by_unit": {u.label: u.metrics[metric] for u in ok},
+    }
+    if kind in ("throughput", "staleness_bound"):
+        by_scale: Dict[int, Dict[str, float]] = {}
+        for u in ok:
+            by_scale.setdefault(u.total_gpus, {})[u.system] = u.metrics[metric]
+        speedups: Dict[str, float] = {}
+        winners: Dict[str, str] = {}
+        for gpus, tputs in sorted(by_scale.items()):
+            winners[str(gpus)] = max(tputs, key=tputs.get)
+            if "laminar" in tputs and "verl" in tputs and tputs["verl"] > 0:
+                speedups[str(gpus)] = tputs["laminar"] / tputs["verl"]
+        if winners:
+            summary["best_system_by_scale"] = winners
+        if speedups:
+            summary["laminar_speedup_vs_verl"] = speedups
+    return summary
+
+
+def _collect(scenarios: Sequence[ScenarioConfig], unit_results: Dict[Tuple, UnitResult],
+             elapsed: Dict[str, float]) -> List[ScenarioResult]:
+    results: List[ScenarioResult] = []
+    for scenario in scenarios:
+        units = [unit_results[u.key] for u in scenario.expand()]
+        results.append(
+            ScenarioResult(
+                scenario_id=scenario.id,
+                kind=scenario.kind,
+                units=units,
+                summary=summarise(scenario.kind, units),
+                elapsed_s=elapsed.get(scenario.id, 0.0),
+            )
+        )
+    return results
+
+
+def run_scenarios(
+    scenarios: Sequence[ScenarioConfig],
+    jobs: int = 1,
+    timeout_s: Optional[float] = None,
+    progress: Optional[Callable[[UnitResult], None]] = None,
+) -> List[ScenarioResult]:
+    """Execute every unit of every scenario and regroup per scenario.
+
+    ``jobs > 1`` runs units on a ``ProcessPoolExecutor``; each worker arms a
+    ``SIGALRM`` for its unit's budget (clock starts at actual execution, not
+    at submission) and over-budget units are reported with status
+    ``"timeout"``.  Serial runs enforce the same budget in-process (when on
+    the main thread of a platform with ``SIGALRM``).  ``timeout_s`` overrides
+    every scenario's own budget.
+    """
+    if jobs <= 0:
+        raise ValueError("jobs must be positive")
+    all_units: List[ScenarioUnit] = []
+    for scenario in scenarios:
+        all_units.extend(scenario.expand())
+
+    unit_results: Dict[Tuple, UnitResult] = {}
+    elapsed: Dict[str, float] = {}
+    start_times: Dict[str, float] = {}
+
+    def note(unit: ScenarioUnit, result: UnitResult) -> None:
+        unit_results[unit.key] = result
+        now = time.perf_counter()
+        sid = unit.scenario_id
+        start_times.setdefault(sid, now)
+        elapsed[sid] = now - start_times[sid]
+        if progress is not None:
+            progress(result)
+
+    if jobs == 1 or len(all_units) <= 1:
+        for unit in all_units:
+            start_times.setdefault(unit.scenario_id, time.perf_counter())
+            budget = timeout_s if timeout_s is not None else unit.timeout_s
+            note(unit, execute_unit(unit, budget))
+        return _collect(scenarios, unit_results, elapsed)
+
+    # No ``with`` block: a timed-out unit's worker is abandoned, and the
+    # context manager's shutdown(wait=True) would block on it anyway.
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    # The budget proper is enforced worker-side (SIGALRM in execute_unit),
+    # where the clock starts when the unit actually runs.  The parent keeps a
+    # generous backstop per future for workers that die or hang outright;
+    # it is deliberately loose because the executor flags futures as
+    # "running" while they are still queued behind other units.
+    pending = {}
+    abandoned = False
+    for unit in all_units:
+        start_times.setdefault(unit.scenario_id, time.perf_counter())
+        budget = timeout_s if timeout_s is not None else unit.timeout_s
+        pending[pool.submit(execute_unit, unit, budget)] = [
+            unit, None, 2.0 * budget + 120.0,
+        ]
+    try:
+        while pending:
+            done, _ = wait(pending, timeout=1.0, return_when=FIRST_COMPLETED)
+            now = time.perf_counter()
+            for future in done:
+                unit, _started, _budget = pending.pop(future)
+                try:
+                    note(unit, future.result())
+                except (Exception, CancelledError):
+                    failed = UnitResult(
+                        scenario_id=unit.scenario_id, system=unit.system,
+                        model_size=unit.model_size, total_gpus=unit.total_gpus,
+                        variant=unit.variant, seed=unit.seed, status="failed",
+                        error=traceback.format_exc(limit=8),
+                    )
+                    note(unit, failed)
+            for future, entry in list(pending.items()):
+                unit, started, backstop = entry
+                if started is None:
+                    if future.running():
+                        entry[1] = now
+                    continue
+                if now - started <= backstop:
+                    continue
+                # The worker missed even its SIGALRM budget: abandon it.
+                future.cancel()
+                abandoned = True
+                pending.pop(future)
+                note(unit, UnitResult(
+                    scenario_id=unit.scenario_id, system=unit.system,
+                    model_size=unit.model_size, total_gpus=unit.total_gpus,
+                    variant=unit.variant, seed=unit.seed, status="timeout",
+                    error=f"unit exceeded the {backstop:.0f}s parent backstop",
+                ))
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+        if abandoned:
+            # Every tracked unit has a result by now, so any process still
+            # executing is a wedged worker that ignored its SIGALRM; kill it
+            # or the interpreter's atexit hook would join it forever.
+            for process in list(getattr(pool, "_processes", {}).values()):
+                if process.is_alive():
+                    process.terminate()
+    return _collect(scenarios, unit_results, elapsed)

@@ -57,6 +57,9 @@ class _TrainerState:
     last_update_completion: float = 0.0
     iteration_start: float = 0.0
     compute_time: float = 0.0
+    #: Earliest time a new iteration may start (checkpoint restore after a
+    #: trainer failure while idle).
+    ready_time: float = 0.0
 
 
 @dataclass
@@ -219,6 +222,8 @@ class LaminarSystem:
         state = self._trainer_state
         if state.busy:
             return
+        if now + 1e-9 < state.ready_time:
+            return
         if not self.buffer.can_sample(self.config.global_batch_size):
             return
         batch = self.buffer.sample(self.config.global_batch_size)
@@ -306,11 +311,15 @@ class LaminarSystem:
                 )
             elif event.kind == FailureKind.TRAINER:
                 # The trainer restarts from its checkpoint; rollouts keep going.
+                # The restore time is charged whether the trainer was mid-
+                # iteration (its completion slips) or idle (it may not start a
+                # new iteration until the restore finishes).
                 state = self._trainer_state
+                restore = self.recovery.trainer_recovery_time()
                 if state.busy:
-                    state.finish_time += self.recovery.trainer_recovery_time()
+                    state.finish_time += restore
                 else:
-                    state.last_update_completion += 0.0
+                    state.ready_time = max(state.ready_time, now + restore)
 
     def _handle_recoveries(self, now: float) -> None:
         ready = [r for r in self._pending_recoveries if r.time <= now]
@@ -340,6 +349,8 @@ class LaminarSystem:
             boundaries = [now + self.manager.repack_interval]
             if self._trainer_state.busy:
                 boundaries.append(self._trainer_state.finish_time)
+            elif self._trainer_state.ready_time > now:
+                boundaries.append(self._trainer_state.ready_time)
             next_failure = self.failures.next_failure_time()
             if next_failure is not None:
                 boundaries.append(next_failure)

@@ -265,6 +265,40 @@ def test_laminar_survives_rollout_machine_failure():
     assert record.downtime > 0
 
 
+def _trainer_failure_run(failure_time=None, num_iterations=2):
+    config = make_system_config("laminar", "7B", 64, task_type="math").scaled(1 / 32)
+    config = replace(config, num_iterations=num_iterations, warmup_iterations=1)
+    injector = FailureInjector()
+    if failure_time is not None:
+        injector.add(FailureEvent(time=failure_time, kind=FailureKind.TRAINER, target=0))
+    system = LaminarSystem(config, failure_injector=injector)
+    return system, system.run()
+
+
+def test_trainer_failure_while_idle_charges_checkpoint_restore():
+    """Regression: an idle-trainer failure used to be a no-op; the checkpoint
+    restore must delay the next iteration in both the busy and idle cases."""
+    _, baseline = _trainer_failure_run(None)
+    system, failed = _trainer_failure_run(failure_time=1.0)  # buffer still filling: idle
+    restore = system.recovery.trainer_recovery_time()
+    delay = failed.iterations[0].end_time - baseline.iterations[0].end_time
+    # The first update cannot complete before the restore finishes...
+    assert failed.iterations[0].end_time >= 1.0 + restore
+    # ... and the charged delay is on the order of the restore time.
+    assert delay > restore / 2
+    # Rollouts keep generating through the outage and training still finishes.
+    assert len(failed.iterations) == len(baseline.iterations)
+
+
+def test_trainer_failure_while_busy_delays_completion():
+    _, baseline = _trainer_failure_run(None)
+    busy_at = baseline.iterations[0].end_time - 0.5  # mid first iteration
+    system, failed = _trainer_failure_run(failure_time=busy_at)
+    restore = system.recovery.trainer_recovery_time()
+    delay = failed.iterations[0].end_time - baseline.iterations[0].end_time
+    assert delay >= restore - 1.0
+
+
 def test_rollout_manager_repack_executes_on_live_replicas():
     manager = RolloutManager(c_max=0.99, batch_bound=64, repack_interval=5.0)
     config = make_system_config("laminar", "7B", 32).scaled(1 / 32)
