@@ -1,87 +1,63 @@
 """Shared machinery for the baseline RL post-training systems.
 
 Every baseline (and Laminar) consumes the same workload objects — prompt
-dataset, trajectory factory, decode model, trainer cost model — so measured
-differences come only from orchestration (global synchronization, staleness
-pipelines, partial rollout), mirroring the paper's controlled comparison.
+dataset, trajectory factory, decode model, trainer cost model — built by
+:class:`repro.runtime.WorkloadBundle`, so measured differences come only from
+orchestration (global synchronization, staleness pipelines, partial rollout),
+mirroring the paper's controlled comparison.
+
+The orchestration itself runs on the discrete-event engine: each baseline's
+``run`` is a single process on a fresh :class:`Environment`, and the global
+generation barrier is an ``AllOf`` join over per-replica processes
+(:func:`repro.runtime.generation_barrier`) — the batch is complete when the
+slowest replica's process terminates.
 """
 
 from __future__ import annotations
 
-import math
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Generator, List, Optional, Sequence
 
 from ..config import SystemConfig
-from ..data.experience_buffer import ExperienceBuffer
-from ..llm.decode_model import DecodeModel
-from ..metrics.results import StageBreakdown, SystemRunResult
-from ..rollout.environment import SimulatedEnvironment, TrajectoryFactory
+from ..metrics.results import SystemRunResult
 from ..rollout.generation import ReplicaGenerationState, SequenceState
-from ..rollout.replica_config import RolloutReplicaConfig
-from ..sim.network import RDMA_LINK, gpu_direct_global_sync_time
-from ..trainer.trainer import Trainer
+from ..runtime.components import CompletionPipeline, GlobalWeightSync
+from ..runtime.harness import GenerationOutcome, generation_barrier
+from ..runtime.workload import WorkloadBundle
+from ..sim.engine import Environment
 from ..types import Trajectory
-from ..workload.datasets import PromptDataset
-
 
 #: Engine switch overhead (offload weights / rebuild decode engine) paid twice
 #: per iteration by colocated synchronous systems such as verl's HybridEngine.
 COLOCATED_SWITCH_OVERHEAD = 4.0
 
-
-@dataclass
-class GenerationOutcome:
-    """Result of generating one batch of trajectories on a set of replicas."""
-
-    duration: float
-    trajectories: List[Trajectory]
-    #: Per-replica generation time (time until that replica finished its share).
-    per_replica_time: List[float]
-    tokens_generated: int
-
-    @property
-    def bubble_time(self) -> float:
-        """Aggregate idle GPU-time caused by the long tail (relative units).
-
-        Mean idle span per replica: the gap between a replica finishing its
-        share and the slowest replica finishing (the bubbles of Fig 3a-c).
-        """
-        if not self.per_replica_time:
-            return 0.0
-        slowest = max(self.per_replica_time)
-        return float(np.mean([slowest - t for t in self.per_replica_time]))
+__all__ = [
+    "BaselineSystem",
+    "COLOCATED_SWITCH_OVERHEAD",
+    "GenerationOutcome",
+]
 
 
 class BaselineSystem(ABC):
-    """Base class for the iteration-level simulators of the baseline systems."""
+    """Base class for the event-driven simulators of the baseline systems."""
 
     name = "baseline"
 
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
-        self.model = config.model()
-        self.task = config.task()
-        self.dataset = PromptDataset(self.task, seed=config.seed)
-        self.factory = TrajectoryFactory(self.task, seed=config.seed + 1)
-        self.environment = SimulatedEnvironment(self.task, seed=config.seed + 2)
-        self.rng = np.random.default_rng(config.seed + 3)
-        self.trainer = Trainer(
-            model=self.model,
-            parallel=config.trainer_parallel,
-            config=config.trainer_config(),
-        )
-        self.buffer = ExperienceBuffer(seed=config.seed + 4)
-        self.replica_config = RolloutReplicaConfig(
-            model=self.model,
-            tensor_parallel=config.rollout_tensor_parallel,
-            gpu=config.gpu,
-            max_concurrency=config.max_concurrency_per_replica,
-        )
-        self.decode_model = self.replica_config.decode_model()
+        self.workload = WorkloadBundle.from_config(config)
+        self.model = self.workload.model
+        self.task = self.workload.task
+        self.dataset = self.workload.dataset
+        self.factory = self.workload.factory
+        self.environment = self.workload.environment
+        self.rng = self.workload.rng
+        self.trainer = self.workload.trainer
+        self.buffer = self.workload.buffer
+        self.replica_config = self.workload.replica_config
+        self.decode_model = self.workload.decode_model
+        self.pipeline = CompletionPipeline(environment=self.environment, buffer=self.buffer)
+        self.weight_sync = GlobalWeightSync.from_config(config, self.model)
         self._next_replica_id = 0
 
     # ------------------------------------------------------------------ helpers
@@ -91,15 +67,7 @@ class BaselineSystem(ABC):
     def make_replicas(self, count: int, weight_version: int) -> List[ReplicaGenerationState]:
         replicas = []
         for _ in range(count):
-            replicas.append(
-                ReplicaGenerationState(
-                    replica_id=self._next_replica_id,
-                    decode_model=self.decode_model,
-                    kvcache_config=self.replica_config.kvcache_config(),
-                    max_concurrency=self.config.max_concurrency_per_replica,
-                    weight_version=weight_version,
-                )
-            )
+            replicas.append(self.workload.make_replica(self._next_replica_id, weight_version))
             self._next_replica_id += 1
         return replicas
 
@@ -108,43 +76,35 @@ class BaselineSystem(ABC):
         prompts = self.dataset.sample_batch(self.config.num_prompts_per_batch, self.rng)
         return self.factory.make(prompts, weight_version=weight_version)
 
-    def generate_full_batch(self, weight_version: int) -> GenerationOutcome:
-        """Synchronous full-batch generation across fresh replicas.
+    def generate_batch_process(self, env: Environment, weight_version: int) -> Generator:
+        """Sub-process: synchronous full-batch generation across fresh replicas.
 
-        Sequences are distributed round-robin over the replicas; the batch is
-        complete when the slowest replica finishes (the global barrier of the
-        synchronous and k-step-staleness designs).
+        Sequences are distributed round-robin over the replicas; the ``AllOf``
+        join completes when the slowest replica finishes (the global barrier
+        of the synchronous and k-step-staleness designs).
         """
         states = self.sample_batch_states(weight_version)
         replicas = self.make_replicas(self.num_generation_replicas(), weight_version)
         for index, state in enumerate(states):
-            replica = replicas[index % len(replicas)]
-            replica.add_sequences([state])
-        trajectories: List[Trajectory] = []
-        per_replica_time: List[float] = []
-        tokens = 0
-        for replica in replicas:
-            duration, completed = replica.run_to_completion()
-            per_replica_time.append(duration)
-            trajectories.extend(completed)
-            tokens += replica.stats.tokens_generated
-        return GenerationOutcome(
-            duration=max(per_replica_time) if per_replica_time else 0.0,
-            trajectories=trajectories,
-            per_replica_time=per_replica_time,
-            tokens_generated=tokens,
+            replicas[index % len(replicas)].add_sequences([state])
+        outcome = yield from generation_barrier(env, replicas)
+        return outcome
+
+    def generate_full_batch(self, weight_version: int) -> GenerationOutcome:
+        """Run one generation barrier on a private environment (tests, probes)."""
+        env = Environment()
+        process = env.process(
+            self.generate_batch_process(env, weight_version),
+            name=f"{self.name}-generation",
         )
+        return env.run(until=process)
 
     def score_and_buffer(self, trajectories: Sequence[Trajectory], actor_version: int) -> None:
-        for trajectory in trajectories:
-            reward = self.environment.score(trajectory)
-            self.buffer.write(trajectory, reward, actor_version)
+        self.pipeline.process(trajectories, actor_version)
 
     def global_sync_time(self) -> float:
         """GPU-direct global weight synchronization latency (NCCL-style)."""
-        rollout_gpus = self.config.rollout_gpus or self.config.trainer_gpus
-        machines = max(1, rollout_gpus // 8)
-        return gpu_direct_global_sync_time(self.model.weight_bytes, machines, RDMA_LINK)
+        return self.weight_sync.sync_time()
 
     def batch_tokens(self, trajectories: Sequence[Trajectory]) -> int:
         return sum(t.total_tokens for t in trajectories)
@@ -159,7 +119,20 @@ class BaselineSystem(ABC):
             rollout_gpus=self.config.rollout_gpus or self.config.trainer_gpus,
         )
 
+    def run(self, num_iterations: Optional[int] = None) -> SystemRunResult:
+        """Simulate ``num_iterations`` RL iterations on the event engine."""
+        num_iterations = num_iterations or self.config.num_iterations
+        result = self.new_result()
+        env = Environment()
+        main = env.process(
+            self._run_process(env, result, num_iterations), name=f"{self.name}-main"
+        )
+        env.run(until=main)
+        result.wall_clock = env.now
+        return result
+
     # ------------------------------------------------------------------ interface
     @abstractmethod
-    def run(self, num_iterations: Optional[int] = None) -> SystemRunResult:
-        """Simulate ``num_iterations`` RL iterations and return the result."""
+    def _run_process(self, env: Environment, result: SystemRunResult,
+                     num_iterations: int) -> Generator:
+        """Process body simulating ``num_iterations`` RL iterations."""

@@ -7,15 +7,17 @@ iteration a blocking GPU-direct global weight synchronization distributes the
 new weights to every rollout.
 
 Iteration time therefore is ``max(generation, training) + global_sync`` — the
-pipeline hides whichever stage is shorter, but the generation stage still ends
-only when the slowest long-tail trajectory finishes.
+pipeline hides whichever stage is shorter, but the generation barrier (the
+``AllOf`` join over the replica processes) still ends only when the slowest
+long-tail trajectory finishes.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Generator
 
 from ..metrics.results import StageBreakdown, SystemRunResult
+from ..sim.engine import Environment
 from .base import BaselineSystem
 
 
@@ -24,30 +26,28 @@ class OneStepStaleness(BaselineSystem):
 
     name = "one_step"
 
-    def run(self, num_iterations: Optional[int] = None) -> SystemRunResult:
-        num_iterations = num_iterations or self.config.num_iterations
-        result = self.new_result()
-        clock = 0.0
+    def _run_process(self, env: Environment, result: SystemRunResult,
+                     num_iterations: int) -> Generator:
         sync_time = self.global_sync_time()
 
         # Pipeline fill: generate the first batch before training can start.
-        outcome = self.generate_full_batch(weight_version=0)
-        clock += outcome.duration + sync_time
+        outcome = yield from self.generate_batch_process(env, 0)
+        yield env.timeout(sync_time)
         self.score_and_buffer(outcome.trajectories, self.trainer.weight_version)
 
         for _ in range(num_iterations):
-            start = clock
+            start = env.now
             batch = self.buffer.sample(self.config.global_batch_size)
             tokens = sum(exp.tokens for exp in batch)
             train_time = self.trainer.iteration_compute_time(tokens)
 
             # Concurrently, rollouts generate the next batch with the current
-            # (pre-update) weights.
-            outcome = self.generate_full_batch(self.trainer.weight_version)
-
+            # (pre-update) weights; training hides behind whichever stage is
+            # longer, then the blocking global sync couples every rollout.
+            outcome = yield from self.generate_batch_process(env, self.trainer.weight_version)
             stage_time = max(train_time, outcome.duration)
-            clock += stage_time + sync_time
-            record = self.trainer.record_iteration(batch, start, clock)
+            yield env.timeout(max(0.0, start + stage_time + sync_time - env.now))
+            record = self.trainer.record_iteration(batch, start, env.now)
             # The freshly generated batch becomes visible only now, after the
             # global synchronization barrier.
             self.score_and_buffer(outcome.trajectories, self.trainer.weight_version)
@@ -62,6 +62,4 @@ class OneStepStaleness(BaselineSystem):
                 )
             )
             result.staleness_samples.extend(exp.staleness for exp in batch)
-        result.wall_clock = clock
         result.extras["global_sync_time"] = sync_time
-        return result

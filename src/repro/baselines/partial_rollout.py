@@ -1,25 +1,52 @@
 """AReaL-style partial-rollout baseline (Fig 3d).
 
-Rollouts generate continuously at full concurrency (no per-iteration barrier),
-and the trainer consumes a global batch from the experience buffer whenever
-enough trajectories have completed.  Whenever the actor publishes new weights,
-every rollout is interrupted: all in-flight trajectories switch to the new
-policy version mid-generation, which requires rebuilding (re-prefilling) their
-KVCache.  A single trajectory may therefore mix several policy versions
-(``Trajectory.versions_used``), the re-prefill storm costs GPU time on every
-iteration, and the trajectory staleness is unbounded.
+Rollouts generate continuously at full concurrency (no per-iteration barrier):
+every replica runs as its own driver process that tops itself up with fresh
+prompts, and the trainer process consumes a global batch from the experience
+buffer the instant enough trajectories have completed.  Whenever the actor
+publishes new weights, every rollout is interrupted: all in-flight
+trajectories switch to the new policy version mid-generation, which requires
+rebuilding (re-prefilling) their KVCache.  A single trajectory may therefore
+mix several policy versions (``Trajectory.versions_used``), the re-prefill
+storm costs GPU time on every iteration, and the trajectory staleness is
+unbounded.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Generator, List, Optional
 
 import numpy as np
 
 from ..metrics.results import StageBreakdown, SystemRunResult
 from ..rollout.generation import ReplicaGenerationState
+from ..runtime.harness import ReplicaFleet
+from ..sim.engine import Environment
 from ..types import Trajectory
 from .base import BaselineSystem
+
+
+class _ContinuousFleet(ReplicaFleet):
+    """Driver hooks: top-up on idle, score completions straight into the buffer."""
+
+    def __init__(self, env: Environment, system: "PartialRollout") -> None:
+        super().__init__(env)
+        self.system = system
+        self._by_id = {replica.replica_id: replica for replica in system.replicas}
+
+    def replica(self, replica_id: int) -> Optional[ReplicaGenerationState]:
+        return self._by_id.get(replica_id)
+
+    def refill(self, replica: ReplicaGenerationState) -> None:
+        self.system._top_up(replica)
+
+    def on_advance(self, replica: ReplicaGenerationState, completed: List[Trajectory]) -> None:
+        system = self.system
+        if completed:
+            system.score_and_buffer(completed, system.trainer.weight_version)
+            if system.buffer.can_sample(system.config.global_batch_size):
+                self.notify_data()
+        system._top_up(replica)
 
 
 class PartialRollout(BaselineSystem):
@@ -27,8 +54,6 @@ class PartialRollout(BaselineSystem):
 
     name = "areal"
 
-    #: Simulation round length (seconds) for advancing all replicas in lockstep.
-    round_length: float = 20.0
     #: Bound on run-ahead: stop admitting new prompts once the buffered plus
     #: in-flight trajectories exceed this many global batches.  Keeps staleness
     #: (and the simulated warm-up transient) bounded, mirroring the data
@@ -77,70 +102,38 @@ class PartialRollout(BaselineSystem):
         states = self.factory.make(prompts, weight_version=replica.weight_version)
         replica.add_sequences(states)
 
-    def _advance_all(self, dt: float) -> List[Trajectory]:
-        completed: List[Trajectory] = []
-        for replica in self.replicas:
-            completed.extend(replica.advance(dt))
-            self._top_up(replica)
-        return completed
-
-    def _align_clocks(self) -> float:
-        """Bring every replica to the same wall-clock (idle-padding stragglers)."""
-        latest = max(r.clock for r in self.replicas)
-        for replica in self.replicas:
-            gap = latest - replica.clock
-            if gap > 1e-9:
-                replica.inject_stall(gap, busy=False)
-        return latest
-
     # ------------------------------------------------------------------ main loop
-    def run(self, num_iterations: Optional[int] = None) -> SystemRunResult:
-        num_iterations = num_iterations or self.config.num_iterations
-        result = self.new_result()
+    def _run_process(self, env: Environment, result: SystemRunResult,
+                     num_iterations: int) -> Generator:
         sync_time = self.global_sync_time()
-
         self.replicas = self.make_replicas(self.num_generation_replicas(), weight_version=0)
+        fleet = _ContinuousFleet(env, self)
         for replica in self.replicas:
-            self._top_up(replica)
+            fleet.spawn(replica.replica_id)
 
-        clock = 0.0
         total_reprefill_stall = 0.0
         for _ in range(num_iterations):
-            iteration_start = clock
-            # --- accumulate a global batch of completed trajectories ------------
-            batch_ready_time = clock
+            iteration_start = env.now
+            # --- wait for a global batch of completed trajectories --------------
+            # The drivers score completions into the buffer as they happen; the
+            # wake-up lands at the exact completion timestamp of the last
+            # trajectory needed.
             while not self.buffer.can_sample(self.config.global_batch_size):
-                completed = self._advance_all(self.round_length)
-                clock += self.round_length
-                for trajectory in completed:
-                    reward = self.environment.score(trajectory)
-                    self.buffer.write(trajectory, reward, self.trainer.weight_version)
-                if completed and self.buffer.can_sample(self.config.global_batch_size):
-                    # The batch became ready somewhere inside this round: use
-                    # the precise completion timestamp of the last trajectory
-                    # needed rather than the round boundary.
-                    needed = sorted(t.finish_time for t in completed)
-                    batch_ready_time = needed[-1]
-            batch_ready_time = max(batch_ready_time, iteration_start)
-
+                yield fleet.data_event()
             batch = self.buffer.sample(self.config.global_batch_size)
+            fleet.notify_refill()  # run-ahead budget freed
             tokens = sum(exp.tokens for exp in batch)
             train_time = self.trainer.iteration_compute_time(tokens)
-            update_done = batch_ready_time + train_time
 
-            # Generation continues during training; advance replicas up to the
-            # moment the new weights land, then pay the pause-and-sync cycle.
-            self._align_clocks()
-            remaining = update_done - self.replicas[0].clock
-            if remaining > 0:
-                completed = self._advance_all(remaining)
-                for trajectory in completed:
-                    reward = self.environment.score(trajectory)
-                    self.buffer.write(trajectory, reward, self.trainer.weight_version)
-            clock = self._align_clocks()
-            clock = max(clock, update_done)
-
-            record = self.trainer.record_iteration(batch, iteration_start, clock)
+            # Generation continues (the drivers keep running) while the actor
+            # computes its update.  Bring every replica up to the update
+            # instant *before* recording it, so trajectories that completed
+            # during the training window are scored with the pre-update
+            # actor version.
+            yield env.timeout(train_time)
+            for replica in self.replicas:
+                fleet.catch_up(replica)
+            record = self.trainer.record_iteration(batch, iteration_start, env.now)
 
             # --- partial rollout: interrupt, sync weights, re-prefill -----------
             reprefill_stall = 0.0
@@ -148,7 +141,7 @@ class PartialRollout(BaselineSystem):
                 replica.inject_stall(sync_time, busy=False)
                 reprefill_stall += replica.reprefill_all_inflight()
                 replica.set_weight_version(self.trainer.weight_version)
-            clock = self._align_clocks()
+            fleet.touch()  # stalled replicas: drivers recompute their next event
             total_reprefill_stall += reprefill_stall
 
             result.iterations.append(record)
@@ -164,7 +157,7 @@ class PartialRollout(BaselineSystem):
             result.extras["mixed_version_fraction"] = float(
                 np.mean([exp.trajectory.mixed_versions for exp in batch])
             )
-        result.wall_clock = clock
+        # The pause-and-sync stall of the final update is still outstanding on
+        # the replica clocks; the run ends at the last update completion.
         result.extras["global_sync_time"] = sync_time
         result.extras["total_reprefill_stall"] = total_reprefill_stall
-        return result

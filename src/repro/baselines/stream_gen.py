@@ -11,11 +11,10 @@ synchronization still couples every rollout at the iteration boundary.
 
 from __future__ import annotations
 
-from typing import List, Optional
-
-import numpy as np
+from typing import Generator
 
 from ..metrics.results import StageBreakdown, SystemRunResult
+from ..sim.engine import Environment
 from .base import BaselineSystem
 
 
@@ -24,17 +23,15 @@ class StreamGeneration(BaselineSystem):
 
     name = "stream_gen"
 
-    def run(self, num_iterations: Optional[int] = None) -> SystemRunResult:
-        num_iterations = num_iterations or self.config.num_iterations
-        result = self.new_result()
-        clock = 0.0
+    def _run_process(self, env: Environment, result: SystemRunResult,
+                     num_iterations: int) -> Generator:
         sync_time = self.global_sync_time()
         num_minibatches = self.config.num_minibatches
         minibatch_trajs = self.config.global_batch_size // num_minibatches
 
         for _ in range(num_iterations):
-            start = clock
-            outcome = self.generate_full_batch(self.trainer.weight_version)
+            start = env.now
+            outcome = yield from self.generate_batch_process(env, self.trainer.weight_version)
             # Completion times of the batch's trajectories relative to the
             # iteration start, sorted ascending (short trajectories first —
             # exactly the order the streaming trainer consumes them in).
@@ -59,11 +56,11 @@ class StreamGeneration(BaselineSystem):
                 total_train_time += mb_time
 
             iteration_span = train_cursor + sync_time
-            clock += iteration_span
+            yield env.timeout(max(0.0, start + iteration_span - env.now))
 
             self.score_and_buffer(outcome.trajectories, self.trainer.weight_version)
             batch = self.buffer.sample(self.config.global_batch_size)
-            record = self.trainer.record_iteration(batch, start, clock)
+            record = self.trainer.record_iteration(batch, start, env.now)
 
             result.iterations.append(record)
             result.breakdowns.append(
@@ -75,6 +72,4 @@ class StreamGeneration(BaselineSystem):
                 )
             )
             result.staleness_samples.extend(exp.staleness for exp in batch)
-        result.wall_clock = clock
         result.extras["global_sync_time"] = sync_time
-        return result

@@ -2,15 +2,17 @@
 
 All GPUs alternate between the generation and training stages (§2.2, Fig 3a):
 generate the full global batch, switch the engines, train on it, switch back.
-Stage times add up, and the generation stage ends only when the single slowest
-long-tail trajectory completes — the bubbles Laminar removes.
+Stage times add up, and the generation stage — an ``AllOf`` join over the
+replica processes — ends only when the single slowest long-tail trajectory
+completes: the bubbles Laminar removes.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Generator
 
 from ..metrics.results import StageBreakdown, SystemRunResult
+from ..sim.engine import Environment
 from .base import BaselineSystem, COLOCATED_SWITCH_OVERHEAD
 
 
@@ -19,22 +21,20 @@ class VerlSynchronous(BaselineSystem):
 
     name = "verl"
 
-    def run(self, num_iterations: Optional[int] = None) -> SystemRunResult:
-        num_iterations = num_iterations or self.config.num_iterations
-        result = self.new_result()
-        clock = 0.0
+    def _run_process(self, env: Environment, result: SystemRunResult,
+                     num_iterations: int) -> Generator:
         for _ in range(num_iterations):
-            start = clock
+            start = env.now
             # --- generation stage: all GPUs act as rollout replicas ------------
-            outcome = self.generate_full_batch(self.trainer.weight_version)
-            clock += outcome.duration + COLOCATED_SWITCH_OVERHEAD
+            outcome = yield from self.generate_batch_process(env, self.trainer.weight_version)
+            yield env.timeout(COLOCATED_SWITCH_OVERHEAD)
             # --- training stage: same GPUs switch to the actor -----------------
             self.score_and_buffer(outcome.trajectories, self.trainer.weight_version)
             batch = self.buffer.sample(self.config.global_batch_size)
             tokens = sum(exp.tokens for exp in batch)
             train_time = self.trainer.iteration_compute_time(tokens)
-            clock += train_time + COLOCATED_SWITCH_OVERHEAD
-            record = self.trainer.record_iteration(batch, start, clock)
+            yield env.timeout(train_time + COLOCATED_SWITCH_OVERHEAD)
+            record = self.trainer.record_iteration(batch, start, env.now)
             result.iterations.append(record)
             result.breakdowns.append(
                 StageBreakdown(
@@ -45,5 +45,3 @@ class VerlSynchronous(BaselineSystem):
                 )
             )
             result.staleness_samples.extend(exp.staleness for exp in batch)
-        result.wall_clock = clock
-        return result

@@ -25,6 +25,8 @@ KINDS = (
     "fault_injection",
     "repack_ablation",
     "staleness_bound",
+    "kvcache_lifecycle",
+    "weight_sync",
 )
 
 #: ``(key, value)`` pairs — hashable stand-in for a dict so the config stays frozen.
@@ -299,6 +301,33 @@ SCENARIOS: Tuple[ScenarioConfig, ...] = (
         model_size="32B",
         gpu_scales=(128,),
         tags=("repack", "fig16", "smoke"),
+    ),
+    ScenarioConfig(
+        id="kvcache_lifecycle_7b",
+        description="Fig 9 KVCache lifecycle of one rollout replica over a prompt "
+                    "batch: utilisation ramp, plateau near C_max, and drain, plus "
+                    "the repack release point.",
+        kind="kvcache_lifecycle",
+        systems=("laminar",),
+        model_size="7B",
+        gpu_scales=(64,),
+        iterations=1,
+        warmup=0,
+        timeout_s=120.0,
+        tags=("kvcache", "fig9", "smoke"),
+    ),
+    ScenarioConfig(
+        id="weight_sync_32b",
+        description="Fig 14 rollout waiting time during weight sync: Laminar's "
+                    "relay pull vs the blocking GPU-direct global sync (32B).",
+        kind="weight_sync",
+        systems=("laminar",),
+        model_size="32B",
+        gpu_scales=(128, 512),
+        iterations=1,
+        warmup=0,
+        timeout_s=60.0,
+        tags=("weight_sync", "fig14", "smoke"),
     ),
     ScenarioConfig(
         id="staleness_bound_7b",

@@ -33,6 +33,8 @@ PRIMARY_METRICS: Dict[str, Tuple[str, bool]] = {
     "convergence": ("final_reward", True),
     "repack_ablation": ("throughput_gain", True),
     "fault_injection": ("throughput_tok_s", True),
+    "kvcache_lifecycle": ("mean_kvcache_utilization", True),
+    "weight_sync": ("relay_speedup_vs_gpu_direct", True),
 }
 
 @dataclass
@@ -236,12 +238,57 @@ def _run_repack_ablation(unit: ScenarioUnit) -> Dict[str, float]:
     }
 
 
+def _run_kvcache_lifecycle(unit: ScenarioUnit) -> Dict[str, float]:
+    from ..experiments.generation_rate import KVCacheLifecycle, replica_batch_cycle
+
+    config = _build_config(unit, overrides_dict(unit.overrides))
+    cycle = replica_batch_cycle(config, seed=unit.seed)
+    lifecycle = KVCacheLifecycle.from_profile(cycle)
+    return {
+        "mean_kvcache_utilization": float(cycle.mean_kvcache_utilization),
+        "peak_kvcache_utilization": float(lifecycle.peak_utilization),
+        "ramp_seconds": float(lifecycle.ramp_seconds),
+        "plateau_fraction": float(lifecycle.plateau_fraction),
+        "drain_seconds": float(lifecycle.drain_seconds),
+        "cycle_seconds": float(cycle.full_duration),
+        "release_fraction_of_cycle": (
+            float(cycle.release_time / cycle.full_duration) if cycle.full_duration else 0.0
+        ),
+        "tokens_generated": float(cycle.total_tokens),
+    }
+
+
+def _run_weight_sync(unit: ScenarioUnit) -> Dict[str, float]:
+    from ..core.broadcast_model import broadcast_latency, rollout_wait_comparison
+    from ..sim.cluster import GPUS_PER_MACHINE
+
+    config = _build_config(unit, overrides_dict(unit.overrides))
+    model = config.model()
+    comparison = rollout_wait_comparison(
+        model, config.rollout_gpus, config.rollout_tensor_parallel
+    )
+    gpu_direct = comparison["gpu_direct"]
+    relay_mean = comparison["laminar_mean"]
+    machines = max(1, config.rollout_gpus // GPUS_PER_MACHINE)
+    return {
+        "relay_mean_wait_s": float(relay_mean),
+        "relay_best_wait_s": float(comparison["laminar_best"]),
+        "gpu_direct_wait_s": float(gpu_direct),
+        "relay_speedup_vs_gpu_direct": (
+            float(gpu_direct / relay_mean) if relay_mean > 0 else float("inf")
+        ),
+        "chain_broadcast_s": float(broadcast_latency(model, machines)),
+    }
+
+
 _EXECUTORS: Dict[str, Callable[[ScenarioUnit], Dict[str, float]]] = {
     "throughput": _run_throughput,
     "staleness_bound": _run_throughput,
     "convergence": _run_convergence,
     "fault_injection": _run_fault_injection,
     "repack_ablation": _run_repack_ablation,
+    "kvcache_lifecycle": _run_kvcache_lifecycle,
+    "weight_sync": _run_weight_sync,
 }
 
 

@@ -1,72 +1,48 @@
 """Laminar: trajectory-level asynchronous RL post-training (§3-§6).
 
 :class:`LaminarSystem` wires the full architecture together and simulates it
-in continuous time:
+in continuous time on the discrete-event engine (:mod:`repro.sim.engine`),
+driven by :class:`repro.runtime.laminar_runtime.LaminarRuntime`:
 
-* every rollout replica generates its own prompt batch independently and, on
-  completion (or when released by the repack mechanism), pulls the newest
-  weights from its colocated relay worker and starts the next batch;
+* every rollout replica runs as its own driver process: it generates its
+  prompt batch independently and, on completion (or when released by the
+  repack mechanism), pulls the newest weights from its colocated relay worker
+  and starts the next batch;
 * completed trajectories flow through the partial-response pool into the
-  experience buffer, where the fully decoupled trainer samples global batches
-  whenever enough data is available;
+  experience buffer, where the fully decoupled trainer process samples global
+  batches the instant enough data is available;
 * after every model update the trainer pushes the weights to the master relay
   and keeps training, while the chain-pipelined broadcast distributes them in
   the background;
-* the rollout manager runs the periodic + post-update repack checks and the
-  heartbeat-based failover.
+* the rollout-manager process runs the periodic + post-update repack checks,
+  and the failure process applies injected outages at their exact timestamps.
 
-The simulation advances all replicas in lock-step rounds whose length is the
-minimum of the repack-check interval and the time to the next trainer/failure
-event, so trainer events land at exact timestamps while per-trajectory
-completion times stay exact inside each round (see
-:class:`repro.rollout.generation.ReplicaGenerationState`).
+Simulated time jumps from event to event (trajectory completions, trainer
+updates, repack checks, failures), so trainer/failure/repack timestamps are
+exact rather than aligned to simulation rounds.  This module holds the
+*policy* — placement, refill, failover, accounting; the DES *mechanism*
+(processes, interrupts, barriers) lives in :mod:`repro.runtime`.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..config import SystemConfig
-from ..data.experience_buffer import ExperienceBuffer
 from ..data.partial_response_pool import PartialResponsePool
-from ..metrics.results import StageBreakdown, SystemRunResult
+from ..metrics.results import SystemRunResult
 from ..metrics.timeline import EventCounterSeries, TimeSeries
-from ..rollout.environment import SimulatedEnvironment, TrajectoryFactory
-from ..rollout.generation import ReplicaGenerationState, SequenceState
-from ..rollout.replica_config import RolloutReplicaConfig
-from ..trainer.trainer import Trainer
+from ..rollout.generation import ReplicaGenerationState
+from ..runtime.components import CompletionPipeline, RelayWeightSync
+from ..runtime.laminar_runtime import LaminarRuntime
+from ..runtime.workload import WorkloadBundle
+from ..sim.cluster import GPUS_PER_MACHINE
 from ..types import Trajectory
-from ..workload.datasets import PromptDataset
-from .fault_tolerance import FailureEvent, FailureInjector, FailureKind, RecoveryModel
-from .relay import RelayService
+from .fault_tolerance import FailureEvent, FailureInjector, RecoveryModel
 from .rollout_manager import RolloutManager
 from .staleness import StalenessTracker
-
-
-@dataclass
-class _TrainerState:
-    """Trainer-side bookkeeping between simulation rounds."""
-
-    busy: bool = False
-    finish_time: float = math.inf
-    pending_batch: list = field(default_factory=list)
-    last_update_completion: float = 0.0
-    iteration_start: float = 0.0
-    compute_time: float = 0.0
-    #: Earliest time a new iteration may start (checkpoint restore after a
-    #: trainer failure while idle).
-    ready_time: float = 0.0
-
-
-@dataclass
-class _PendingRecovery:
-    time: float
-    machine_id: int
-    weight_version_hint: int
 
 
 class LaminarSystem:
@@ -90,52 +66,43 @@ class LaminarSystem:
         if config.rollout_gpus <= 0:
             raise ValueError("Laminar requires a disaggregated placement (rollout_gpus > 0)")
         self.config = config
-        self.model = config.model()
-        self.task = config.task()
-        self.dataset = PromptDataset(self.task, seed=config.seed)
-        self.factory = TrajectoryFactory(self.task, seed=config.seed + 1)
-        self.environment = SimulatedEnvironment(self.task, seed=config.seed + 2)
-        self.rng = np.random.default_rng(config.seed + 3)
-        self.trainer = Trainer(
-            model=self.model,
-            parallel=config.trainer_parallel,
-            config=config.trainer_config(),
-        )
-        self.buffer = ExperienceBuffer(seed=config.seed + 4)
+        self.workload = WorkloadBundle.from_config(config)
+        self.model = self.workload.model
+        self.task = self.workload.task
+        self.dataset = self.workload.dataset
+        self.factory = self.workload.factory
+        self.environment = self.workload.environment
+        self.rng = self.workload.rng
+        self.trainer = self.workload.trainer
+        self.buffer = self.workload.buffer
+        self.replica_config = self.workload.replica_config
+        self.decode_model = self.workload.decode_model
         self.partial_pool = PartialResponsePool()
         self.staleness = StalenessTracker()
-        self.replica_config = RolloutReplicaConfig(
-            model=self.model,
-            tensor_parallel=config.rollout_tensor_parallel,
-            gpu=config.gpu,
-            max_concurrency=config.max_concurrency_per_replica,
+        self.pipeline = CompletionPipeline(
+            environment=self.environment,
+            buffer=self.buffer,
+            staleness=self.staleness,
+            partial_pool=self.partial_pool,
         )
-        self.decode_model = self.replica_config.decode_model()
         self.recovery = recovery or RecoveryModel()
         self.failures = failure_injector or FailureInjector(recovery=self.recovery)
         self.failures.recovery = self.recovery
 
         # Rollout machines and replicas.
-        gpus_per_machine = 8
-        self.num_rollout_machines = max(1, config.rollout_gpus // gpus_per_machine)
-        replicas_per_machine = max(
-            1, min(gpus_per_machine, config.rollout_gpus) // config.rollout_tensor_parallel
-        )
+        self.num_rollout_machines = max(1, config.rollout_gpus // GPUS_PER_MACHINE)
         self.replicas: Dict[int, ReplicaGenerationState] = {}
         self.replica_machine: Dict[int, int] = {}
         self._next_replica_id = 0
         total_replicas = config.num_rollout_replicas()
         for machine in range(self.num_rollout_machines):
-            for _ in range(replicas_per_machine):
+            for _ in range(self._replicas_per_machine()):
                 if len(self.replicas) >= total_replicas:
                     break
                 self._create_replica(machine_id=machine, weight_version=0)
 
-        self.relay = RelayService(
-            model=self.model,
-            rollout_machine_ids=list(range(self.num_rollout_machines)),
-            rollout_tensor_parallel=config.rollout_tensor_parallel,
-        )
+        self.weight_sync = RelayWeightSync.from_config(config, self.model)
+        self.relay = self.weight_sync.relay
         batch_bound = self.decode_model.batch_bound_for_latency_slack(
             context_length=int(self.task.length_dist.mean()) + 512, slack=2.0
         )
@@ -145,8 +112,6 @@ class LaminarSystem:
             repack_interval=config.repack_interval,
             recovery=self.recovery,
         )
-        self._trainer_state = _TrainerState()
-        self._pending_recoveries: List[_PendingRecovery] = []
         self._per_replica_batch = self._compute_per_replica_batch()
         # Observability.
         self.generation_tokens = EventCounterSeries(name="generation_tokens")
@@ -155,14 +120,22 @@ class LaminarSystem:
         self._failure_happened = False
 
     # ------------------------------------------------------------------ setup helpers
+    def _replicas_per_machine(self) -> int:
+        """Rollout replicas hosted per machine.
+
+        A machine hosts one replica per tensor-parallel group of its GPUs, but
+        never more GPUs than the configuration actually allocates to rollouts
+        (``rollout_gpus < 8`` means a partially-populated machine).  Initial
+        placement and failure recovery must agree on this number — recovery
+        used to recompute it without the ``rollout_gpus`` clamp, so a
+        recovered machine could come back hosting more replicas than it
+        originally did.
+        """
+        gpus_on_machine = min(GPUS_PER_MACHINE, self.config.rollout_gpus)
+        return max(1, gpus_on_machine // self.config.rollout_tensor_parallel)
+
     def _create_replica(self, machine_id: int, weight_version: int) -> ReplicaGenerationState:
-        replica = ReplicaGenerationState(
-            replica_id=self._next_replica_id,
-            decode_model=self.decode_model,
-            kvcache_config=self.replica_config.kvcache_config(),
-            max_concurrency=self.config.max_concurrency_per_replica,
-            weight_version=weight_version,
-        )
+        replica = self.workload.make_replica(self._next_replica_id, weight_version)
         self.replicas[self._next_replica_id] = replica
         self.replica_machine[self._next_replica_id] = machine_id
         self._next_replica_id += 1
@@ -184,87 +157,34 @@ class LaminarSystem:
         return max(0, cap - in_flight - len(self.buffer))
 
     # ------------------------------------------------------------------ replica intake
-    def _refill_idle_replicas(self, now: float) -> None:
-        for replica in self.replicas.values():
-            if not replica.is_idle:
-                continue
-            budget = self._run_ahead_budget()
-            if budget <= 0:
-                continue
-            count = min(self._per_replica_batch, budget)
-            # Pull the newest weights from the colocated relay (any time, PCIe).
-            machine_id = self.replica_machine[replica.replica_id]
-            pull = self.relay.pull_latency(machine_id, now, replica.replica_id)
-            version = pull.version
-            replica.set_weight_version(max(replica.weight_version, version))
-            replica.inject_stall(pull.wait_time, busy=True)
-            prompts = self.dataset.sample_batch(
-                max(1, -(-count // self.task.group_size)), self.rng
-            )[:count]
-            states = self.factory.make(prompts, weight_version=replica.weight_version,
-                                       start_time=now)
-            replica.add_sequences(states)
-            for state in states:
-                self.partial_pool.register(state.trajectory, replica.replica_id)
+    def _refill_replica(self, replica: ReplicaGenerationState, now: float) -> bool:
+        """Give an idle replica a fresh prompt batch with the newest weights.
+
+        Returns False when the run-ahead budget is exhausted (the replica's
+        driver then sleeps until the trainer consumes a batch).
+        """
+        budget = self._run_ahead_budget()
+        if budget <= 0:
+            return False
+        count = min(self._per_replica_batch, budget)
+        # Pull the newest weights from the colocated relay (any time, PCIe).
+        machine_id = self.replica_machine[replica.replica_id]
+        pull = self.weight_sync.pull(machine_id, now, replica.replica_id)
+        replica.set_weight_version(max(replica.weight_version, pull.version))
+        replica.inject_stall(pull.wait_time, busy=True)
+        prompts = self.dataset.sample_batch(
+            max(1, -(-count // self.task.group_size)), self.rng
+        )[:count]
+        states = self.factory.make(prompts, weight_version=replica.weight_version,
+                                   start_time=now)
+        replica.add_sequences(states)
+        for state in states:
+            self.partial_pool.register(state.trajectory, replica.replica_id)
+        return True
 
     # ------------------------------------------------------------------ completions
     def _handle_completions(self, completed: List[Trajectory]) -> None:
-        actor_version = self.trainer.weight_version
-        for trajectory in completed:
-            if trajectory.traj_id in self.partial_pool:
-                self.partial_pool.complete(trajectory.traj_id)
-            reward = self.environment.score(trajectory)
-            self.buffer.write(trajectory, reward, actor_version)
-            self.staleness.record(trajectory, actor_version)
-
-    # ------------------------------------------------------------------ trainer
-    def _trainer_try_start(self, now: float) -> None:
-        state = self._trainer_state
-        if state.busy:
-            return
-        if now + 1e-9 < state.ready_time:
-            return
-        if not self.buffer.can_sample(self.config.global_batch_size):
-            return
-        batch = self.buffer.sample(self.config.global_batch_size)
-        tokens = sum(exp.tokens for exp in batch)
-        state.pending_batch = batch
-        state.iteration_start = state.last_update_completion
-        state.busy = True
-        state.compute_time = self.trainer.iteration_compute_time(tokens)
-        state.finish_time = now + state.compute_time
-
-    def _trainer_maybe_finish(self, now: float) -> Optional[float]:
-        """If the trainer's current iteration ends at ``now``, publish weights.
-
-        Returns the actor stall charged, or ``None`` if nothing finished.
-        """
-        state = self._trainer_state
-        if not state.busy or now + 1e-9 < state.finish_time:
-            return None
-        publication = self.relay.publish(self.trainer.weight_version + 1, now)
-        completion = now + publication.actor_stall
-        record = self.trainer.record_iteration(
-            state.pending_batch, state.iteration_start, completion
-        )
-        self.training_tokens.record(completion, record.tokens_trained)
-        self._result.iterations.append(record)
-        self._result.breakdowns.append(
-            StageBreakdown(
-                generation_time=max(0.0, record.duration - state.compute_time),
-                training_time=state.compute_time,
-                weight_sync_time=publication.actor_stall,
-            )
-        )
-        self._result.staleness_samples.extend(exp.staleness for exp in state.pending_batch)
-        state.pending_batch = []
-        state.busy = False
-        state.finish_time = math.inf
-        state.last_update_completion = completion
-        # §5.1: a repack is also triggered right after each trainer update.
-        released, overhead = self.manager.maybe_repack(self.replicas, now, force=True)
-        self._charge_repack_overhead(released, overhead)
-        return publication.actor_stall
+        self.pipeline.process(completed, self.trainer.weight_version)
 
     # ------------------------------------------------------------------ repack / failures
     def _charge_repack_overhead(self, released: List[int], overhead: float) -> None:
@@ -276,123 +196,42 @@ class LaminarSystem:
             for replica in destinations:
                 replica.inject_stall(share, busy=True)
 
-    def _handle_failures(self, now: float) -> None:
-        for event in self.failures.due(now):
-            if event.kind == FailureKind.ROLLOUT_MACHINE:
-                self._failure_happened = True
-                failed_ids = [
-                    rid for rid, machine in self.replica_machine.items()
-                    if machine == event.target and rid in self.replicas
-                ]
-                self.manager.handle_machine_failure(
-                    event, failed_ids, self.replicas, self.partial_pool, now
-                )
-                for rid in failed_ids:
-                    self.replica_machine.pop(rid, None)
-                repair = self.relay.fail_machine(event.target)
-                # Relay chain rebuild is sub-second and does not block rollouts.
-                del repair
-                recovery_at = event.time + self.recovery.rollout_recovery_time(event)
-                self._pending_recoveries.append(
-                    _PendingRecovery(
-                        time=recovery_at,
-                        machine_id=event.target,
-                        weight_version_hint=self.trainer.weight_version,
-                    )
-                )
-            elif event.kind == FailureKind.RELAY:
-                self.relay.fail_machine(event.target)
-                self._pending_recoveries.append(
-                    _PendingRecovery(
-                        time=event.time + self.recovery.relay_recovery_time(),
-                        machine_id=event.target,
-                        weight_version_hint=self.trainer.weight_version,
-                    )
-                )
-            elif event.kind == FailureKind.TRAINER:
-                # The trainer restarts from its checkpoint; rollouts keep going.
-                # The restore time is charged whether the trainer was mid-
-                # iteration (its completion slips) or idle (it may not start a
-                # new iteration until the restore finishes).
-                state = self._trainer_state
-                restore = self.recovery.trainer_recovery_time()
-                if state.busy:
-                    state.finish_time += restore
-                else:
-                    state.ready_time = max(state.ready_time, now + restore)
+    def _apply_rollout_failure(self, event: FailureEvent, now: float) -> float:
+        """Fail a rollout machine; returns the time its replacement is up."""
+        self._failure_happened = True
+        failed_ids = [
+            rid for rid, machine in self.replica_machine.items()
+            if machine == event.target and rid in self.replicas
+        ]
+        self.manager.handle_machine_failure(
+            event, failed_ids, self.replicas, self.partial_pool, now
+        )
+        for rid in failed_ids:
+            self.replica_machine.pop(rid, None)
+        # Relay chain rebuild is sub-second and does not block rollouts.
+        self.relay.fail_machine(event.target)
+        return event.time + self.recovery.rollout_recovery_time(event)
 
-    def _handle_recoveries(self, now: float) -> None:
-        ready = [r for r in self._pending_recoveries if r.time <= now]
-        self._pending_recoveries = [r for r in self._pending_recoveries if r.time > now]
-        for recovery in ready:
-            self.relay.recover_machine(recovery.machine_id, now)
-            replicas_per_machine = max(
-                1, 8 // self.config.rollout_tensor_parallel
-            )
-            for _ in range(replicas_per_machine):
-                if len(self.replicas) >= self.config.num_rollout_replicas():
-                    break
-                replica = self._create_replica(recovery.machine_id, self.trainer.weight_version)
-                replica.clock = now
+    def _recover_machine(self, machine_id: int, now: float) -> List[ReplicaGenerationState]:
+        """Re-admit a machine: catch up its relay, then re-host its replicas."""
+        self.relay.recover_machine(machine_id, now)
+        created: List[ReplicaGenerationState] = []
+        for _ in range(self._replicas_per_machine()):
+            if len(self.replicas) >= self.config.num_rollout_replicas():
+                break
+            replica = self._create_replica(machine_id, self.trainer.weight_version)
+            replica.clock = now
+            created.append(replica)
+        return created
 
     # ------------------------------------------------------------------ main loop
     def run(self, num_iterations: Optional[int] = None) -> SystemRunResult:
+        """Simulate ``num_iterations`` trainer updates on the event engine."""
         num_iterations = num_iterations or self.config.num_iterations
         self._result = self.new_result()
-        now = 0.0
-        tokens_before = {rid: 0 for rid in self.replicas}
-        self._refill_idle_replicas(now)
-
-        while len(self.trainer.iterations) < num_iterations and now < self.max_sim_time:
-            self._trainer_try_start(now)
-            # Next boundary: repack check, trainer completion, or failure.
-            boundaries = [now + self.manager.repack_interval]
-            if self._trainer_state.busy:
-                boundaries.append(self._trainer_state.finish_time)
-            elif self._trainer_state.ready_time > now:
-                boundaries.append(self._trainer_state.ready_time)
-            next_failure = self.failures.next_failure_time()
-            if next_failure is not None:
-                boundaries.append(next_failure)
-            if self._pending_recoveries:
-                boundaries.append(min(r.time for r in self._pending_recoveries))
-            target = max(now + 1e-3, min(boundaries))
-            dt = target - now
-
-            # Advance every replica by dt (aligned clocks) and collect completions.
-            completed: List[Trajectory] = []
-            round_tokens = 0
-            for rid, replica in list(self.replicas.items()):
-                completed.extend(replica.advance(dt))
-                generated = replica.stats.tokens_generated
-                round_tokens += generated - tokens_before.get(rid, 0)
-                tokens_before[rid] = generated
-            now = target
-            self.generation_tokens.record(now, round_tokens)
-            self._handle_completions(completed)
-
-            # Record KVCache utilisation traces (Fig 9) for a few replicas.
-            for rid in list(self.replicas)[:4]:
-                series = self.kvcache_series.setdefault(rid, TimeSeries(name=f"kvcache_{rid}"))
-                series.record(now, self.replicas[rid].kvcache_utilization)
-
-            # Failures / recoveries due at this boundary.
-            self._handle_failures(now)
-            self._handle_recoveries(now)
-
-            # Trainer completion, if this boundary is its finish time.
-            self._trainer_maybe_finish(now)
-            self._trainer_try_start(now)
-
-            # Periodic repack check (§5.1).
-            released, overhead = self.manager.maybe_repack(self.replicas, now)
-            self._charge_repack_overhead(released, overhead)
-
-            # Released or naturally-finished replicas pull weights and refill.
-            self._refill_idle_replicas(now)
-            tokens_before = {rid: r.stats.tokens_generated for rid, r in self.replicas.items()}
-
-        self._finalise(now)
+        runtime = LaminarRuntime(self)
+        final_time = runtime.run(num_iterations)
+        self._finalise(final_time)
         return self._result
 
     # ------------------------------------------------------------------ results
@@ -405,6 +244,13 @@ class LaminarSystem:
             trainer_gpus=self.config.trainer_gpus,
             rollout_gpus=self.config.rollout_gpus,
         )
+
+    def record_kvcache_sample(self, replica_id: int, time: float, utilization: float) -> None:
+        """KVCache utilisation observer (Fig 9), fed by the manager process."""
+        series = self.kvcache_series.setdefault(
+            replica_id, TimeSeries(name=f"kvcache_{replica_id}")
+        )
+        series.record(time, utilization)
 
     def _finalise(self, now: float) -> None:
         result = self._result

@@ -8,6 +8,7 @@ Figure 11/12 live in :mod:`repro.experiments.throughput`.
 from __future__ import annotations
 
 from dataclasses import replace
+from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -154,7 +155,21 @@ def figure10_staleness_distribution(
 # --------------------------------------------------------------------------- Fig 13
 def figure13_profiles(model_size: str = "7B", total_gpus: int = 32,
                       seed: int = 0) -> List[SystemConvergenceProfile]:
-    """Build per-system convergence profiles from the throughput model."""
+    """Build per-system convergence profiles from the throughput model.
+
+    Memoised per process: each profile set prices one full throughput
+    measurement per system (tens of seconds at the paper's batch geometry),
+    and the convergence benchmark grid asks for the identical set once per
+    (system × scale) unit.  The profiles are frozen dataclasses, so sharing
+    the tuple across callers is safe; a fresh list is returned each call.
+    """
+    return list(_figure13_profiles_cached(model_size, total_gpus, seed))
+
+
+@lru_cache(maxsize=32)
+def _figure13_profiles_cached(
+    model_size: str, total_gpus: int, seed: int
+) -> Tuple[SystemConvergenceProfile, ...]:
     profiles: List[SystemConvergenceProfile] = []
     spec = {
         "verl": dict(mean_staleness=0.0, max_staleness=0, mixture_fraction=0.0, algorithm="grpo"),
@@ -169,7 +184,7 @@ def figure13_profiles(model_size: str = "7B", total_gpus: int = 32,
         profiles.append(
             SystemConvergenceProfile(name=system, iteration_time=point.iteration_time, **kwargs)
         )
-    return profiles
+    return tuple(profiles)
 
 
 def figure13_convergence(model_size: str = "7B", total_gpus: int = 32,

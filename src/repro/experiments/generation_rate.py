@@ -18,8 +18,8 @@ generation engine as every end-to-end simulation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -49,6 +49,8 @@ class BatchCycleProfile:
     #: Mean KVCache utilisation sampled over the cycle.
     mean_kvcache_utilization: float
     mean_kvcache_utilization_to_release: float
+    #: Sampled ``(time, utilisation)`` trace over the cycle (Fig 9 lifecycle).
+    utilization_trace: List[Tuple[float, float]] = field(default_factory=list)
 
     #: Typical number of same-version ramp-down replicas consolidated together:
     #: Algorithm 1 releases all but one of them, and the remaining destination
@@ -125,6 +127,7 @@ def replica_batch_cycle(
     release_time = 0.0
     tokens_at_release = 0
     utilisation_samples: List[float] = []
+    trace: List[Tuple[float, float]] = []
     utilisation_to_release: List[float] = []
     completions: List[float] = []
     next_sample = 0.0
@@ -140,6 +143,7 @@ def replica_batch_cycle(
         if replica.clock >= next_sample:
             util = replica.kvcache_utilization
             utilisation_samples.append(util)
+            trace.append((replica.clock, util))
             peak_util = max(peak_util, util)
             if release_time == 0.0:
                 utilisation_to_release.append(util)
@@ -178,7 +182,44 @@ def replica_batch_cycle(
         mean_kvcache_utilization_to_release=(
             float(np.mean(utilisation_to_release)) if utilisation_to_release else 0.0
         ),
+        utilization_trace=trace,
     )
+
+
+@dataclass
+class KVCacheLifecycle:
+    """Fig 9 lifecycle phases extracted from a batch-cycle utilisation trace.
+
+    The trace of a healthy replica shows three phases: a *ramp* while
+    admissions fill the cache, a *plateau* near peak utilisation while a
+    waiting queue keeps freed space occupied, and a *drain* once the queue
+    empties and the long tail shrinks the live batch.
+    """
+
+    peak_utilization: float
+    #: Time to first reach 95% of peak utilisation (end of the ramp).
+    ramp_seconds: float
+    #: Fraction of the cycle spent at >= 90% of peak utilisation.
+    plateau_fraction: float
+    #: Time from the last >= 90%-of-peak sample to the end of the cycle.
+    drain_seconds: float
+
+    @classmethod
+    def from_profile(cls, profile: BatchCycleProfile) -> "KVCacheLifecycle":
+        trace = profile.utilization_trace
+        if not trace or profile.full_duration <= 0:
+            return cls(0.0, 0.0, 0.0, 0.0)
+        peak = max(util for _, util in trace)
+        if peak <= 0:
+            return cls(0.0, 0.0, 0.0, profile.full_duration)
+        ramp_end = next(t for t, util in trace if util >= 0.95 * peak)
+        high = [t for t, util in trace if util >= 0.90 * peak]
+        return cls(
+            peak_utilization=float(peak),
+            ramp_seconds=float(ramp_end),
+            plateau_fraction=float(len(high) / len(trace)),
+            drain_seconds=float(max(0.0, profile.full_duration - max(high))),
+        )
 
 
 @dataclass

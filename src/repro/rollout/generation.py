@@ -4,11 +4,16 @@
 parallel group) decoding a set of trajectories.  It is deliberately free of
 any discrete-event-simulation dependency: callers drive it by asking "when is
 your next internal event?" and then telling it "advance by this much time".
+The ``repro.runtime`` harness turns that contract into engine processes:
 
-* The Laminar system (``repro.core.laminar``) drives it from interruptible
-  DES processes, so repacking and weight pulls can happen at any instant.
-* The baseline systems (``repro.baselines``) drive it in a plain loop until a
-  batch completes, which reproduces their batch-synchronous behaviour.
+* Laminar and AReaL run one interruptible driver process per replica
+  (:func:`repro.runtime.replica_driver`), which sleeps until the replica's
+  own next event — so repacking, weight pulls and failures can land at any
+  instant and simulated time jumps between real events;
+* the batch-synchronous baselines drain each replica with
+  :func:`repro.runtime.drain_replica` behind an ``AllOf`` barrier
+  (:func:`repro.runtime.generation_barrier`), which reproduces their
+  slowest-replica iteration semantics exactly.
 
 Because every system shares this engine (and the roofline decode model inside
 it), throughput differences between systems come purely from orchestration —
@@ -169,6 +174,10 @@ class ReplicaGenerationState:
         self._env_wait: List[int] = []
         self._completed: List[Trajectory] = []
         self._time_carry = 0.0
+        #: Bumped on every mutation of the decode batch (admission, removal,
+        #: preemption, token growth); keys the step-time cache below.
+        self._mutation = 0
+        self._step_cache: Tuple[int, float] = (-1, 0.0)
         #: Utilisation at the previous observation, for the ramp-down test
         #: (§5.2: a repack candidate has non-increasing KVCache utilisation).
         self.prev_utilization = 0.0
@@ -197,6 +206,8 @@ class ReplicaGenerationState:
             if seq.status in (SequenceStatus.DECODING, SequenceStatus.ENV_WAIT):
                 self.kvcache.free(seq_id)
             removed.append(seq)
+        if removed:
+            self._mutation += 1
         self._try_admit()
         return removed
 
@@ -244,11 +255,23 @@ class ReplicaGenerationState:
         return total / len(self._decoding)
 
     def current_step_time(self) -> float:
+        """Decode-step latency of the live batch.
+
+        Cached against the mutation counter: callers typically ask for the
+        step time twice per event (once to find the next event, once to apply
+        the elapsed window), and the O(batch) context scan dominates the
+        event-driven hot path.
+        """
         if not self._decoding:
             return 0.0
-        return self.decode_model.decode_step_time(
+        version, value = self._step_cache
+        if version == self._mutation:
+            return value
+        value = self.decode_model.decode_step_time(
             len(self._decoding), int(self.mean_context_tokens())
         )
+        self._step_cache = (self._mutation, value)
+        return value
 
     def in_ramp_down(self, c_max: Optional[float] = None) -> bool:
         """§5.2 idleness signal: utilisation below C_max and not increasing."""
@@ -288,6 +311,7 @@ class ReplicaGenerationState:
             else:
                 self.stats.prompt_tokens_prefilled += seq.trajectory.prompt.prompt_tokens
             admitted_any = True
+            self._mutation += 1
 
     def _preempt_one(self) -> bool:
         """Preempt the most recently admitted decoding sequence (vLLM recompute).
@@ -303,10 +327,16 @@ class ReplicaGenerationState:
         seq.needs_reprefill = True
         self._queued.insert(0, seq_id)
         self.stats.preemptions += 1
+        self._mutation += 1
         return True
 
     def _ensure_growth_capacity(self, tokens: int) -> None:
         """Preempt sequences until every decoding sequence can grow by ``tokens``."""
+        # Fast path: growing by ``tokens`` adds at most ceil(tokens/block) + 1
+        # blocks per sequence, so a roomy cache never needs the exact scan.
+        upper_bound = len(self._decoding) * (self.kvcache.blocks_for(tokens) + 1)
+        if upper_bound <= self.kvcache.free_blocks:
+            return
         while True:
             needed_blocks = 0
             for seq_id in self._decoding:
@@ -328,6 +358,8 @@ class ReplicaGenerationState:
             seq.status = SequenceStatus.DECODING
             seq.env_return_time = math.inf
             self._decoding.append(seq_id)
+        if returned:
+            self._mutation += 1
 
     def next_event_in(self) -> Optional[float]:
         """Time until the next internal event, or ``None`` if the replica is empty.
@@ -407,6 +439,7 @@ class ReplicaGenerationState:
 
     def _apply_decode(self, tokens: int, completed_now: List[Trajectory]) -> None:
         """Advance every decoding sequence by ``tokens`` tokens."""
+        self._mutation += 1  # contexts grow even when the batch set is unchanged
         self._ensure_growth_capacity(tokens)
         finished_segment: List[int] = []
         for seq_id in list(self._decoding):

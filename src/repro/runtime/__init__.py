@@ -1,0 +1,43 @@
+"""Shared runtime layer: one workload, one engine, five orchestrations.
+
+``repro.runtime`` is the layer between the discrete-event engine
+(:mod:`repro.sim.engine`) and the systems (:mod:`repro.core`,
+:mod:`repro.baselines`).  It provides:
+
+* :class:`WorkloadBundle` — identically-seeded construction of the shared
+  workload objects (dataset, factory, environment, decode model, trainer,
+  buffer) so every system replays the exact same workload;
+* :class:`CompletionPipeline` and the weight-sync components
+  (:class:`GlobalWeightSync`, :class:`RelayWeightSync`) — the per-completion
+  and per-update plumbing shared across systems;
+* the DES harness (:func:`drain_replica`, :func:`generation_barrier`,
+  :func:`replica_driver`, :class:`ReplicaFleet`) — replicas as engine
+  processes, with ``AllOf`` joins for the baselines' barriers and
+  interruptible drivers for the continuous systems;
+* :class:`LaminarRuntime` — the event-driven Laminar main loop (trainer,
+  rollout-manager, failure/recovery and per-replica driver processes).
+"""
+
+from .components import CompletionPipeline, GlobalWeightSync, RelayWeightSync
+from .harness import (
+    GenerationOutcome,
+    ReplicaFleet,
+    drain_replica,
+    generation_barrier,
+    replica_driver,
+)
+from .laminar_runtime import LaminarRuntime
+from .workload import WorkloadBundle
+
+__all__ = [
+    "CompletionPipeline",
+    "GenerationOutcome",
+    "GlobalWeightSync",
+    "LaminarRuntime",
+    "RelayWeightSync",
+    "ReplicaFleet",
+    "WorkloadBundle",
+    "drain_replica",
+    "generation_barrier",
+    "replica_driver",
+]

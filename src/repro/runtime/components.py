@@ -1,0 +1,115 @@
+"""Shared runtime components: completion pipeline and weight-sync models.
+
+These encapsulate the two pieces of per-trajectory / per-update plumbing that
+every system shares, so the orchestration code (DES processes) carries no
+policy of its own:
+
+* :class:`CompletionPipeline` — what happens when a trajectory completes:
+  score it, write it to the experience buffer, and (for Laminar) retire it
+  from the partial response pool and record its inherent staleness.
+* :class:`GlobalWeightSync` / :class:`RelayWeightSync` — the two weight
+  distribution designs of the paper: the baselines' blocking GPU-direct
+  global synchronization vs. Laminar's relay service (§4), behind one
+  ``sync`` surface so the runtime does not care which is plugged in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, TYPE_CHECKING
+
+from ..config import SystemConfig
+from ..data.experience_buffer import ExperienceBuffer
+from ..data.partial_response_pool import PartialResponsePool
+from ..llm.model_spec import ModelSpec
+from ..rollout.environment import SimulatedEnvironment
+from ..sim.cluster import GPUS_PER_MACHINE
+from ..sim.network import LinkSpec, RDMA_LINK, gpu_direct_global_sync_time
+from ..types import Trajectory
+
+if TYPE_CHECKING:  # pragma: no cover - the runtime layer sits below repro.core
+    from ..core.relay import PullRecord, RelayService, WeightPublication
+    from ..core.staleness import StalenessTracker
+
+
+@dataclass
+class CompletionPipeline:
+    """Score → buffer → staleness pipeline applied to completed trajectories.
+
+    The baselines use the two-stage form (score, buffer); Laminar additionally
+    retires the trajectory from the partial response pool and records its
+    inherent staleness.  Scoring order is the order trajectories are passed
+    in, which keeps the environment's reward RNG stream deterministic.
+    """
+
+    environment: SimulatedEnvironment
+    buffer: ExperienceBuffer
+    staleness: Optional[StalenessTracker] = None
+    partial_pool: Optional[PartialResponsePool] = None
+
+    def process(self, trajectories: Sequence[Trajectory], actor_version: int) -> None:
+        for trajectory in trajectories:
+            if self.partial_pool is not None and trajectory.traj_id in self.partial_pool:
+                self.partial_pool.complete(trajectory.traj_id)
+            reward = self.environment.score(trajectory)
+            self.buffer.write(trajectory, reward, actor_version)
+            if self.staleness is not None:
+                self.staleness.record(trajectory, actor_version)
+
+
+@dataclass
+class GlobalWeightSync:
+    """Blocking NCCL-style global weight synchronization (the baselines).
+
+    Every rollout participates in one collective per iteration; the whole
+    fleet (and the actor) stalls for :meth:`sync_time` seconds.
+    """
+
+    weight_bytes: float
+    machines: int
+    link: LinkSpec = RDMA_LINK
+
+    @classmethod
+    def from_config(cls, config: SystemConfig, model: ModelSpec) -> "GlobalWeightSync":
+        rollout_gpus = config.rollout_gpus or config.trainer_gpus
+        return cls(
+            weight_bytes=model.weight_bytes,
+            machines=max(1, rollout_gpus // GPUS_PER_MACHINE),
+        )
+
+    def sync_time(self) -> float:
+        return gpu_direct_global_sync_time(self.weight_bytes, self.machines, self.link)
+
+
+@dataclass
+class RelayWeightSync:
+    """Laminar's relay-worker weight distribution (§4), wrapping RelayService.
+
+    The actor stalls only for the push to the master relay; rollouts pull the
+    newest resident version from their colocated relay at any time.
+    """
+
+    relay: RelayService
+
+    @classmethod
+    def from_config(cls, config: SystemConfig, model: ModelSpec) -> "RelayWeightSync":
+        from ..core.relay import RelayService  # deferred: runtime sits below core
+
+        machines = max(1, config.rollout_gpus // GPUS_PER_MACHINE)
+        return cls(
+            relay=RelayService(
+                model=model,
+                rollout_machine_ids=list(range(machines)),
+                rollout_tensor_parallel=config.rollout_tensor_parallel,
+            )
+        )
+
+    def publish(self, version: int, time: float) -> WeightPublication:
+        return self.relay.publish(version, time)
+
+    def pull(self, machine_id: int, time: float, replica_id: int = -1) -> PullRecord:
+        return self.relay.pull_latency(machine_id, time, replica_id)
+
+    def sync_time(self) -> float:
+        """Actor-side stall per update (the relay analogue of a global sync)."""
+        return self.relay.actor_push_time()

@@ -1,0 +1,240 @@
+"""Event-driven harness that runs rollout replicas as ``sim.engine`` processes.
+
+Two execution shapes cover all five systems:
+
+* **Batch generation behind a barrier** (verl, one-step, stream generation):
+  each replica is drained to completion by :func:`drain_replica` and the
+  batch's global barrier is an :class:`~repro.sim.engine.AllOf` join over the
+  replica processes (:func:`generation_barrier`).  Per-replica results are
+  byte-identical to driving the replica with
+  :meth:`ReplicaGenerationState.run_to_completion`, because the process
+  performs exactly the same ``next_event_in`` / ``advance`` call sequence —
+  the engine merely interleaves independent replicas on one clock.
+
+* **Continuous generation** (AReaL, Laminar): every replica has a long-lived
+  :func:`replica_driver` process that sleeps until the replica's own next
+  internal event, refills it when idle, and reports completions through
+  :class:`ReplicaFleet` hooks.  External actors (trainer, repack, failures)
+  interrupt the driver via :meth:`Process.interrupt` whenever they mutate the
+  replica (pull its trajectories, inject a stall), and the driver recomputes
+  its next event — so simulated time jumps between real events instead of
+  being stepped through lock-step rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Sequence
+
+import numpy as np
+
+from ..rollout.generation import ReplicaGenerationState
+from ..sim.engine import Environment, Event, Interrupt, Process
+from ..types import Trajectory
+
+#: Numerical slack when comparing simulated times (mirrors the replica engine).
+_EPS = 1e-9
+
+
+@dataclass
+class GenerationOutcome:
+    """Result of generating one batch of trajectories on a set of replicas."""
+
+    duration: float
+    trajectories: List[Trajectory]
+    #: Per-replica generation time (time until that replica finished its share).
+    per_replica_time: List[float]
+    tokens_generated: int
+
+    @property
+    def bubble_time(self) -> float:
+        """Aggregate idle GPU-time caused by the long tail (relative units).
+
+        Mean idle span per replica: the gap between a replica finishing its
+        share and the slowest replica finishing (the bubbles of Fig 3a-c).
+        """
+        if not self.per_replica_time:
+            return 0.0
+        slowest = max(self.per_replica_time)
+        return float(np.mean([slowest - t for t in self.per_replica_time]))
+
+
+def drain_replica(env: Environment, replica: ReplicaGenerationState) -> Generator:
+    """Process body: drive ``replica`` until it has no work left.
+
+    Returns ``(elapsed_local_time, completed_trajectories)`` exactly like
+    :meth:`ReplicaGenerationState.run_to_completion`.
+    """
+    start = replica.clock
+    completed: List[Trajectory] = []
+    while replica.num_sequences:
+        delta = replica.next_event_in()
+        if delta is None:
+            break
+        yield env.timeout(delta)
+        completed.extend(replica.advance(delta))
+    completed.extend(replica.drain_completed())
+    unique: Dict[int, Trajectory] = {t.traj_id: t for t in completed}
+    return replica.clock - start, list(unique.values())
+
+
+def generation_barrier(env: Environment, replicas: Sequence[ReplicaGenerationState]) -> Generator:
+    """Sub-process: run every replica to completion behind an ``AllOf`` join.
+
+    This is the global barrier of the batch-synchronous systems: the batch is
+    done only when the slowest replica's process terminates.  Trajectories are
+    collected replica-major (replica 0's completions first), matching the
+    scoring order the reward RNG stream depends on.
+    """
+    processes = [
+        env.process(drain_replica(env, replica), name=f"drain-{replica.replica_id}")
+        for replica in replicas
+    ]
+    if processes:
+        yield env.all_of(processes)
+    per_replica_time: List[float] = []
+    trajectories: List[Trajectory] = []
+    tokens = 0
+    for process, replica in zip(processes, replicas):
+        duration, completed = process.value
+        per_replica_time.append(duration)
+        trajectories.extend(completed)
+        tokens += replica.stats.tokens_generated
+    return GenerationOutcome(
+        duration=max(per_replica_time) if per_replica_time else 0.0,
+        trajectories=trajectories,
+        per_replica_time=per_replica_time,
+        tokens_generated=tokens,
+    )
+
+
+class ReplicaFleet:
+    """Book-keeping and wake-up plumbing for a fleet of continuous replicas.
+
+    Subclasses provide the policy hooks:
+
+    * :meth:`replica` — resolve a replica id (``None`` retires the driver,
+      e.g. after a machine failure);
+    * :meth:`refill` — give an idle replica new work (may inject a weight-pull
+      stall first);
+    * :meth:`on_advance` — consume an advance step's completions (score,
+      buffer, record tokens).
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._drivers: Dict[int, Process] = {}
+        self._refill_event: Event = env.event()
+        self._data_event: Event = env.event()
+
+    # -- driver lifecycle ---------------------------------------------------
+    def spawn(self, replica_id: int) -> Process:
+        process = self.env.process(
+            replica_driver(self.env, replica_id, self), name=f"replica-{replica_id}"
+        )
+        self._drivers[replica_id] = process
+        return process
+
+    def touch(self, replica_ids: Optional[Sequence[int]] = None) -> None:
+        """Interrupt drivers so they recompute their next event.
+
+        Called whenever an external actor mutated replica state under a
+        sleeping driver: a repack moved trajectories, a stall was injected, a
+        weight update arrived.  ``None`` touches every driver.
+        """
+        ids = list(self._drivers) if replica_ids is None else list(replica_ids)
+        for replica_id in ids:
+            process = self._drivers.get(replica_id)
+            if process is not None and process.is_alive and process is not self.env.active_process:
+                process.interrupt()
+
+    # -- wake-up signals ----------------------------------------------------
+    def refill_signal(self) -> Event:
+        """Event a driver sleeps on when its replica has no work and no budget."""
+        return self._refill_event
+
+    def data_event(self) -> Event:
+        """Event a trainer sleeps on while waiting for buffered experiences."""
+        return self._data_event
+
+    def notify_refill(self) -> None:
+        """Wake every driver blocked on the refill signal (budget freed)."""
+        event, self._refill_event = self._refill_event, self.env.event()
+        event.succeed()
+
+    def notify_data(self) -> None:
+        """Wake the trainer: the experience buffer can satisfy a batch."""
+        event, self._data_event = self._data_event, self.env.event()
+        event.succeed()
+
+    # -- policy hooks (subclass responsibility) ------------------------------
+    def replica(self, replica_id: int) -> Optional[ReplicaGenerationState]:
+        raise NotImplementedError
+
+    def refill(self, replica: ReplicaGenerationState) -> None:
+        raise NotImplementedError
+
+    def on_advance(self, replica: ReplicaGenerationState, completed: List[Trajectory]) -> None:
+        raise NotImplementedError
+
+    # -- helpers -------------------------------------------------------------
+    def catch_up(self, replica: ReplicaGenerationState) -> None:
+        """Advance ``replica`` to the current simulation time.
+
+        External actors call this before inspecting or mutating a replica
+        whose driver is mid-sleep, so snapshots (KVCache utilisation, request
+        counts, streamed tokens) are exact at the current instant.
+        """
+        behind = self.env.now - replica.clock
+        if behind > _EPS:
+            self.on_advance(replica, replica.advance(behind))
+
+
+def replica_driver(env: Environment, replica_id: int, fleet: ReplicaFleet) -> Generator:
+    """Process body: event-driven driver for one continuously-fed replica.
+
+    The driver keeps the invariant ``replica.clock == env.now`` whenever the
+    replica is actively decoding; a weight-pull or re-prefill stall may push
+    the local clock *ahead* of simulated time, in which case the driver simply
+    sleeps until the stall has elapsed.  Interrupts mean "something changed,
+    recompute" and carry no payload.
+    """
+    while True:
+        replica = fleet.replica(replica_id)
+        if replica is None:
+            return  # replica retired (machine failure)
+        behind = env.now - replica.clock
+        if behind > _EPS:
+            # An external actor let simulated time pass (or this driver was
+            # interrupted mid-sleep): consume the elapsed window first.
+            fleet.on_advance(replica, replica.advance(behind))
+            continue
+        if replica.is_idle:
+            fleet.refill(replica)
+            if replica.is_idle:
+                try:
+                    yield fleet.refill_signal()
+                except Interrupt:
+                    pass
+                continue
+        ahead = max(0.0, replica.clock - env.now)
+        delta = replica.next_event_in()
+        if delta is None:
+            if ahead <= _EPS:
+                # Sequences exist but none can run (queued behind a full
+                # KVCache with no decoder live): wait for outside help.
+                try:
+                    yield fleet.refill_signal()
+                except Interrupt:
+                    pass
+                continue
+            wait = ahead  # stalled: let the stall elapse, then re-evaluate
+        else:
+            wait = ahead + delta
+        try:
+            yield env.timeout(wait)
+        except Interrupt:
+            continue
+        behind = env.now - replica.clock
+        if behind > _EPS:
+            fleet.on_advance(replica, replica.advance(behind))

@@ -1,0 +1,226 @@
+"""Event-driven execution of the Laminar architecture on ``sim.engine``.
+
+:class:`LaminarRuntime` owns the simulation environment and expresses the
+Laminar control flow as four kinds of processes:
+
+* one **replica driver** per rollout replica (:func:`replica_driver`): sleeps
+  until the replica's own next internal event ("when is your next event?" —
+  the question :class:`ReplicaGenerationState` was designed to answer), pulls
+  the newest weights from the colocated relay and refills with fresh prompts
+  whenever the replica goes idle;
+* a **trainer process**: waits for the experience buffer to hold a global
+  batch, computes for the exact iteration time, publishes the new weights to
+  the master relay, and triggers the post-update repack (§5.1);
+* a **rollout-manager process**: the periodic repack check and the KVCache
+  utilisation observers (Fig 9), on the configured check interval;
+* a **failure process** plus one **recovery process** per outage (§3.3):
+  failures land at their exact injected timestamps; a trainer failure
+  interrupts the trainer process with the checkpoint-restore time as the
+  interrupt cause.
+
+Repack pulls and stall injections mutate replicas under their sleeping
+drivers; the runtime interrupts the affected drivers
+(:meth:`Process.interrupt`) so they recompute their next event.  All policy
+(what to refill, how to score, who hosts which replica) stays on
+:class:`~repro.core.laminar.LaminarSystem`; this module is pure mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from ..metrics.results import StageBreakdown
+from ..rollout.generation import ReplicaGenerationState
+from ..sim.engine import Environment, Interrupt
+from ..types import Trajectory
+from .harness import ReplicaFleet, _EPS
+
+if TYPE_CHECKING:  # pragma: no cover - the runtime layer sits below repro.core
+    from ..core.fault_tolerance import FailureEvent
+
+
+class LaminarRuntime(ReplicaFleet):
+    """Discrete-event main loop for one :class:`LaminarSystem` run."""
+
+    def __init__(self, system) -> None:
+        super().__init__(Environment())
+        self.system = system
+        self._num_iterations = 0
+        self._trainer_ready = 0.0
+        self._last_completion = 0.0
+        self._tokens_seen = {rid: 0 for rid in system.replicas}
+        self._trainer_process = None
+        self._done = self.env.event()
+
+    # ------------------------------------------------------------------ entry point
+    def run(self, num_iterations: int) -> float:
+        """Simulate until ``num_iterations`` trainer updates (or the time cap)."""
+        env, system = self.env, self.system
+        self._num_iterations = num_iterations
+        for replica_id in list(system.replicas):
+            self.spawn(replica_id)
+        self._trainer_process = env.process(self._trainer(), name="trainer")
+        env.process(self._manager(), name="rollout-manager")
+        env.process(self._failures(), name="failure-injector")
+        env.run(until=env.any_of([self._done, env.timeout(system.max_sim_time)]))
+        return env.now
+
+    # ------------------------------------------------------------------ fleet hooks
+    def replica(self, replica_id: int) -> Optional[ReplicaGenerationState]:
+        return self.system.replicas.get(replica_id)
+
+    def refill(self, replica: ReplicaGenerationState) -> None:
+        self.system._refill_replica(replica, self.env.now)
+
+    def on_advance(self, replica: ReplicaGenerationState, completed: List[Trajectory]) -> None:
+        system = self.system
+        generated = replica.stats.tokens_generated
+        delta = generated - self._tokens_seen.get(replica.replica_id, 0)
+        self._tokens_seen[replica.replica_id] = generated
+        if delta > 0:
+            system.generation_tokens.record(self.env.now, delta)
+        if completed:
+            system._handle_completions(completed)
+            if system.buffer.can_sample(system.config.global_batch_size):
+                self.notify_data()
+
+    # ------------------------------------------------------------------ trainer
+    def _trainer(self):
+        env, system = self.env, self.system
+        batch_size = system.config.global_batch_size
+        while len(system.trainer.iterations) < self._num_iterations:
+            # Idle phase: wait out any checkpoint restore, then wait for data.
+            while True:
+                wait = self._trainer_ready - env.now
+                if wait > _EPS:
+                    try:
+                        yield env.timeout(wait)
+                    except Interrupt as interrupt:
+                        self._restore_while_idle(float(interrupt.cause))
+                    continue
+                if system.buffer.can_sample(batch_size):
+                    break
+                try:
+                    yield self.data_event()
+                except Interrupt as interrupt:
+                    self._restore_while_idle(float(interrupt.cause))
+            batch = system.buffer.sample(batch_size)
+            self.notify_refill()  # run-ahead budget freed
+            tokens = sum(exp.tokens for exp in batch)
+            compute = system.trainer.iteration_compute_time(tokens)
+            finish = env.now + compute
+            while finish - env.now > _EPS:
+                try:
+                    yield env.timeout(finish - env.now)
+                except Interrupt as interrupt:
+                    # Trainer failure mid-iteration: the restore slips the
+                    # completion of the current update (§3.3).
+                    finish += float(interrupt.cause)
+            # Bring every replica up to the update instant before the version
+            # bump: trajectories that completed during the training window are
+            # scored with the pre-update actor version (as in the round loop,
+            # which advanced and scored all replicas before the trainer check).
+            for replica in list(system.replicas.values()):
+                self.catch_up(replica)
+            # Publish to the master relay; the actor stalls only for the push.
+            publication = system.weight_sync.publish(system.trainer.weight_version + 1, env.now)
+            completion = env.now + publication.actor_stall
+            record = system.trainer.record_iteration(batch, self._last_completion, completion)
+            system.training_tokens.record(completion, record.tokens_trained)
+            result = system._result
+            result.iterations.append(record)
+            result.breakdowns.append(
+                StageBreakdown(
+                    generation_time=max(0.0, record.duration - compute),
+                    training_time=compute,
+                    weight_sync_time=publication.actor_stall,
+                )
+            )
+            result.staleness_samples.extend(exp.staleness for exp in batch)
+            self._last_completion = completion
+            # §5.1: a repack is also triggered right after each trainer update.
+            self._repack(force=True)
+        if not self._done.triggered:
+            self._done.succeed()
+
+    def _restore_while_idle(self, restore: float) -> None:
+        self._trainer_ready = max(self._trainer_ready, self.env.now + restore)
+
+    # ------------------------------------------------------------------ repack / manager
+    def _repack(self, force: bool) -> None:
+        env, system = self.env, self.system
+        if not force and not system.manager.due_for_check(env.now):
+            return
+        for replica in list(system.replicas.values()):
+            self.catch_up(replica)
+        released, overhead = system.manager.maybe_repack(system.replicas, env.now, force=force)
+        system._charge_repack_overhead(released, overhead)
+        if released:
+            # Sources were emptied and destinations grew (plus the shared
+            # migration stall): every sleeping driver must recompute.
+            self.touch()
+            self.notify_refill()
+
+    def _manager(self):
+        env, system = self.env, self.system
+        while True:
+            yield env.timeout(system.manager.repack_interval)
+            self._repack(force=False)
+            self._observe_kvcache()
+
+    def _observe_kvcache(self) -> None:
+        system = self.system
+        for replica_id in list(system.replicas)[:4]:
+            replica = system.replicas[replica_id]
+            system.record_kvcache_sample(replica_id, self.env.now, replica.kvcache_utilization)
+
+    # ------------------------------------------------------------------ failures
+    def _failures(self):
+        env, system = self.env, self.system
+        while True:
+            next_time = system.failures.next_failure_time()
+            if next_time is None:
+                return
+            if next_time - env.now > _EPS:
+                yield env.timeout(next_time - env.now)
+            for event in system.failures.due(env.now):
+                self._apply_failure(event)
+
+    def _apply_failure(self, event: "FailureEvent") -> None:
+        from ..core.fault_tolerance import FailureKind  # deferred: below repro.core
+
+        env, system = self.env, self.system
+        if event.kind == FailureKind.ROLLOUT_MACHINE:
+            # Bring every replica up to the failure instant so the streamed
+            # tokens in the partial response pool are exact, then fail over.
+            for replica in list(system.replicas.values()):
+                self.catch_up(replica)
+            recovery_at = system._apply_rollout_failure(event, env.now)
+            env.process(
+                self._recovery(recovery_at, event.target),
+                name=f"recover-machine-{event.target}",
+            )
+            self.touch()
+            self.notify_refill()
+        elif event.kind == FailureKind.RELAY:
+            system.relay.fail_machine(event.target)
+            env.process(
+                self._recovery(event.time + system.recovery.relay_recovery_time(), event.target),
+                name=f"recover-relay-{event.target}",
+            )
+        elif event.kind == FailureKind.TRAINER:
+            # The trainer restarts from its checkpoint; rollouts keep going.
+            # Mid-iteration the completion slips; while idle the next
+            # iteration may not start until the restore finishes.
+            restore = system.recovery.trainer_recovery_time()
+            if self._trainer_process is not None and self._trainer_process.is_alive:
+                self._trainer_process.interrupt(cause=restore)
+
+    def _recovery(self, at: float, machine_id: int):
+        env, system = self.env, self.system
+        if at - env.now > _EPS:
+            yield env.timeout(at - env.now)
+        for replica in system._recover_machine(machine_id, env.now):
+            self._tokens_seen.setdefault(replica.replica_id, 0)
+            self.spawn(replica.replica_id)
+        self.notify_refill()

@@ -93,12 +93,17 @@ class Machine:
         self.healthy = True
 
 
+#: GPUs per machine in the paper's H800 deployment (Table 2).  Placement,
+#: weight-sync machine counts and the bench executors must all agree on this.
+GPUS_PER_MACHINE = 8
+
+
 @dataclass
 class ClusterSpec:
     """Parameters describing a homogeneous cluster."""
 
     num_machines: int
-    gpus_per_machine: int = 8
+    gpus_per_machine: int = GPUS_PER_MACHINE
     gpu: GPUSpec = H800
     host_memory_bytes: float = 2e12
 

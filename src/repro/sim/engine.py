@@ -2,9 +2,12 @@
 
 This module implements a from-scratch, generator-based discrete-event
 simulation (DES) core in the style of SimPy.  It is the substrate on which the
-whole Laminar reproduction runs: rollout replicas, the trainer, relay workers
-and the rollout manager are all modelled as :class:`Process` objects that
-interact through events, timeouts and shared resources.
+whole Laminar reproduction runs: the :mod:`repro.runtime` layer drives every
+system on it — per-replica driver processes, the trainer process, the
+failure/recovery processes and the rollout-manager process in Laminar, and the
+``AllOf``-joined replica processes that express the baselines' generation
+barriers — so simulated time jumps from event to event instead of being
+stepped through in rounds.
 
 The engine is deliberately small and deterministic:
 
@@ -22,6 +25,7 @@ The engine is deliberately small and deterministic:
 from __future__ import annotations
 
 import heapq
+import inspect
 import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
@@ -246,17 +250,52 @@ class Process(Event):
         return self._value is PENDING
 
     def interrupt(self, cause: Any = None) -> None:
-        """Interrupt the process, raising :class:`Interrupt` inside it."""
+        """Interrupt the process, raising :class:`Interrupt` inside it.
+
+        The interruption is delivered as a high-priority event at the current
+        simulation time.  At delivery the process is detached from whatever
+        event it was waiting on, so that event firing later can no longer wake
+        the process a second time — an interrupted process that keeps running
+        (e.g. a rollout-replica driver recomputing its next decode event after
+        a repack pull) would otherwise receive a stale, spurious resume.
+        """
         if not self.is_alive:
             raise SimulationError(f"{self.name} has terminated and cannot be interrupted")
-        if self._target is None and self.env._active_process is self:
+        if self.env._active_process is self:
             raise SimulationError("a process cannot interrupt itself")
         interrupt_event = Event(self.env)
         interrupt_event._ok = False
         interrupt_event._value = Interrupt(cause)
         interrupt_event._defused = True
-        interrupt_event.callbacks.append(self._resume)
+        interrupt_event.callbacks.append(self._deliver_interrupt)
         self.env._schedule(interrupt_event, priority=0)
+
+    def _deliver_interrupt(self, event: Event) -> None:
+        """Detach from the awaited event, then resume with the interrupt."""
+        if self._value is not PENDING:
+            # The process terminated before the interrupt was delivered
+            # (e.g. a second interrupt queued behind one that killed it).
+            return
+        if inspect.getgeneratorstate(self._generator) == inspect.GEN_CREATED:
+            # The process has not started yet (its Initialize event is still
+            # queued at this same timestamp).  A generator cannot receive a
+            # throw() before its first resume, so redeliver the interrupt at
+            # normal priority — behind Initialize — and it will land on the
+            # process's first yield.
+            retry = Event(self.env)
+            retry._ok = False
+            retry._value = event._value
+            retry._defused = True
+            retry.callbacks.append(self._deliver_interrupt)
+            self.env._schedule(retry)
+            return
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+        self._resume(event)
 
     def _resume(self, event: Event) -> None:
         if self._value is not PENDING:
@@ -264,6 +303,7 @@ class Process(Event):
             # waiting on an event that later fires anyway).  Ignore the wake-up.
             return
         self.env._active_process = self
+        self._target = None
         while True:
             # Deliver the event's outcome into the generator.
             try:
@@ -293,7 +333,8 @@ class Process(Event):
                 break
 
             if next_event.callbacks is not None:
-                # Event not yet processed: wait for it.
+                # Event not yet processed: wait for it.  ``_target`` keeps the
+                # reference so an interrupt can detach the process from it.
                 next_event.callbacks.append(self._resume)
                 self._target = next_event
                 break
@@ -301,7 +342,6 @@ class Process(Event):
             # Event already processed; feed its value in immediately.
             event = next_event
 
-        self._target = None
         self.env._active_process = None
 
 

@@ -135,6 +135,47 @@ def test_grid_expansion_covers_matrix_with_distinct_seeds():
     assert all(("repack_interval", 10.0) in u.overrides for u in variant_b)
 
 
+def test_new_scenario_kinds_are_registered_and_gated():
+    lifecycle = get_scenario("kvcache_lifecycle_7b")
+    weight_sync = get_scenario("weight_sync_32b")
+    assert lifecycle.kind == "kvcache_lifecycle" and "smoke" in lifecycle.tags
+    assert weight_sync.kind == "weight_sync" and "smoke" in weight_sync.tags
+    smoke_ids = {s.id for s in select_scenarios(["smoke"])}
+    assert {"kvcache_lifecycle_7b", "weight_sync_32b"} <= smoke_ids
+
+
+def test_kvcache_lifecycle_unit_reports_ramp_plateau_drain():
+    (result,) = run_scenarios([get_scenario("kvcache_lifecycle_7b")], jobs=1)
+    assert result.status == "ok"
+    (unit,) = result.units
+    metrics = unit.metrics
+    # Fig 9 shape: the cache ramps up, plateaus near its peak for a sustained
+    # stretch, and drains at the end of the cycle.
+    assert 0.0 < metrics["mean_kvcache_utilization"] <= 1.0
+    assert metrics["peak_kvcache_utilization"] >= metrics["mean_kvcache_utilization"]
+    assert 0.0 < metrics["ramp_seconds"] < metrics["cycle_seconds"]
+    assert 0.1 < metrics["plateau_fraction"] < 1.0
+    assert 0.0 < metrics["drain_seconds"] < metrics["cycle_seconds"]
+    assert metrics["ramp_seconds"] + metrics["drain_seconds"] < metrics["cycle_seconds"]
+    # The repack release point falls inside the drain phase, before the end.
+    assert 0.0 < metrics["release_fraction_of_cycle"] <= 1.0
+
+
+def test_weight_sync_unit_compares_relay_to_gpu_direct():
+    (result,) = run_scenarios([get_scenario("weight_sync_32b")], jobs=1)
+    assert result.status == "ok"
+    by_gpus = {u.total_gpus: u.metrics for u in result.units}
+    for metrics in by_gpus.values():
+        assert metrics["relay_best_wait_s"] <= metrics["relay_mean_wait_s"]
+        assert metrics["relay_mean_wait_s"] < metrics["gpu_direct_wait_s"]
+        assert metrics["relay_speedup_vs_gpu_direct"] > 1.0
+    # Fig 14: the relay's advantage grows with the rollout fleet.
+    assert (
+        by_gpus[512]["relay_speedup_vs_gpu_direct"]
+        > by_gpus[128]["relay_speedup_vs_gpu_direct"]
+    )
+
+
 # --------------------------------------------------------------------------- runner
 def test_runner_serial_results_and_summary(tiny_scenario):
     (result,) = run_scenarios([tiny_scenario], jobs=1)

@@ -299,6 +299,50 @@ def test_trainer_failure_while_busy_delays_completion():
     assert delay >= restore - 1.0
 
 
+def test_recovered_machine_hosts_original_replica_count():
+    """Regression: recovery recomputed replicas-per-machine as ``8 // TP``,
+    ignoring the ``min(gpus_per_machine, rollout_gpus)`` clamp used at
+    construction — a machine with fewer than 8 rollout GPUs could come back
+    hosting more replicas than it originally did.  Placement and recovery now
+    share one helper."""
+    from repro.config import SystemConfig
+    from repro.llm import fsdp_trainer_config
+
+    config = SystemConfig(
+        system="laminar",
+        model_size="7B",
+        task_type="math",
+        trainer_gpus=8,
+        rollout_gpus=4,  # partially-populated machine: the clamp matters
+        rollout_tensor_parallel=1,
+        trainer_parallel=fsdp_trainer_config(8, 8),
+        global_batch_size=64,
+        num_prompts_per_batch=4,
+        num_minibatches=4,
+        num_iterations=1,
+        warmup_iterations=0,
+    )
+    system = LaminarSystem(config)
+    # The helper applies the clamp: 4 GPUs / TP=1 gives 4, not 8 // TP = 8.
+    assert system._replicas_per_machine() == 4
+    assert len(system.replicas) == 4
+
+    # Full failure + recovery cycle on a two-machine fleet: the recovered
+    # machine must host exactly what it hosted before, never more.
+    config = make_system_config("laminar", "7B", 64, task_type="math").scaled(1 / 32)
+    config = replace(config, num_iterations=1, warmup_iterations=0)
+    system = LaminarSystem(config)
+    hosted_before = sum(1 for m in system.replica_machine.values() if m == 0)
+    assert hosted_before == system._replicas_per_machine()
+    event = FailureEvent(time=10.0, kind=FailureKind.ROLLOUT_MACHINE, target=0)
+    system._apply_rollout_failure(event, now=10.0)
+    assert all(system.replica_machine.get(rid) != 0 for rid in system.replicas)
+    system._recover_machine(0, now=300.0)
+    hosted_after = sum(1 for m in system.replica_machine.values() if m == 0)
+    assert hosted_after == hosted_before
+    assert len(system.replicas) == config.num_rollout_replicas()
+
+
 def test_rollout_manager_repack_executes_on_live_replicas():
     manager = RolloutManager(c_max=0.99, batch_bound=64, repack_interval=5.0)
     config = make_system_config("laminar", "7B", 32).scaled(1 / 32)
