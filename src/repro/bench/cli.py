@@ -5,7 +5,9 @@ Workflow::
     repro-bench list                         # scenario catalog
     repro-bench run --scenario throughput_smoke --jobs 2 --export BENCH_smoke.json
     repro-bench run --scenario smoke --compare      # regression-gate vs stored artifact
+    repro-bench run --scenario smoke --profile 20   # per-unit cProfile hot paths
     repro-bench compare --baseline BENCH_smoke.json # re-run + gate against an artifact
+    repro-bench trend                               # sparkline history of BENCH_*.json
 
 ``run`` persists results to ``BENCH_<scenario>.json`` artifacts (or a single
 ``--export`` file) and, with ``--compare``, gates the fresh results against
@@ -16,8 +18,10 @@ success / no regression and 1 otherwise.
 from __future__ import annotations
 
 import argparse
+import glob
 import os
 import sys
+import time
 from typing import Dict, List, Optional, Sequence
 
 from .compare import DEFAULT_TOLERANCE, compare_runs
@@ -71,6 +75,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help=f"relative regression tolerance (default: {DEFAULT_TOLERANCE})")
     run_cmd.add_argument("--no-save", action="store_true",
                          help="do not persist results")
+    run_cmd.add_argument("--profile", nargs="?", const=25, default=None, type=int,
+                         metavar="TOP",
+                         help="run each unit under cProfile and print the top "
+                              "TOP cumulative entries (forces --jobs 1; "
+                              "default TOP: 25)")
+    run_cmd.add_argument("--budget", type=float, default=None, metavar="SECONDS",
+                         help="fail (exit 1) if the whole run's wall-clock "
+                              "exceeds SECONDS — the CI engine-speed gate")
 
     cmp_cmd = sub.add_parser("compare", help="gate a run against a baseline artifact")
     cmp_cmd.add_argument("--baseline", required=True, action="append", metavar="PATH",
@@ -84,6 +96,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="parallel workers when re-running (default: 1)")
     cmp_cmd.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                          help=f"relative regression tolerance (default: {DEFAULT_TOLERANCE})")
+
+    trend_cmd = sub.add_parser(
+        "trend", help="per-scenario wall-clock + primary-metric history over "
+                      "merged artifact runs (sparklines)")
+    trend_cmd.add_argument("artifacts", nargs="*", metavar="PATH",
+                           help="artifact files (default: BENCH_*.json in the "
+                                "current directory)")
+    trend_cmd.add_argument("--scenario", action="append", default=[], metavar="PATTERN",
+                           help="restrict to matching scenarios")
+    trend_cmd.add_argument("--no-git-history", action="store_true",
+                           help="only read the files on disk; skip prior "
+                                "versions from git history")
+    trend_cmd.add_argument("--max-revisions", type=int, default=50, metavar="N",
+                           help="cap on historical versions per artifact "
+                                "(default: 50)")
     return parser
 
 
@@ -122,10 +149,23 @@ def cmd_list(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     if args.tolerance < 0:
         raise ValueError("--tolerance must be non-negative")
+    if args.budget is not None and args.budget <= 0:
+        raise ValueError("--budget must be positive")
     patterns = args.scenario or ["smoke"]
     scenarios = select_scenarios(patterns)
     print(f"running {len(scenarios)} scenario(s): "
           + ", ".join(s.id for s in scenarios), flush=True)
+    if args.profile is not None:
+        if args.jobs > 1:
+            print("note: --profile collects in-process; running with --jobs 1",
+                  flush=True)
+        if not args.no_save:
+            # Profiling inflates the harness wall-clock, and elapsed_s is the
+            # engine-speed signal `repro-bench trend` tracks — never let a
+            # profiled run pollute the persisted artifacts.
+            print("note: --profile implies --no-save (profiled elapsed_s is "
+                  "not comparable)", flush=True)
+            args.no_save = True
 
     baseline: List[ScenarioResult] = []
     if args.compare:
@@ -138,13 +178,28 @@ def cmd_run(args: argparse.Namespace) -> int:
             print("note: no baseline artifact found; all units will report "
                   "'no-baseline'", flush=True)
 
+    run_started = time.perf_counter()
     results = run_scenarios(
-        scenarios, jobs=args.jobs, timeout_s=args.timeout, progress=_progress
+        scenarios, jobs=args.jobs, timeout_s=args.timeout, progress=_progress,
+        profile_top=args.profile,
     )
+    run_elapsed = time.perf_counter() - run_started
     print()
     print(render_results(results))
+    if args.profile is not None:
+        for result in results:
+            for unit in result.units:
+                if unit.profile_text:
+                    print(f"\n--- profile: {unit.scenario_id} {unit.label} ---")
+                    print(unit.profile_text.rstrip())
 
     exit_code = 0 if all(r.status == "ok" for r in results) else 1
+    if args.budget is not None:
+        verdict = "within" if run_elapsed <= args.budget else "EXCEEDED"
+        print(f"\nwall-clock budget: {run_elapsed:.1f}s of {args.budget:.0f}s "
+              f"({verdict})")
+        if run_elapsed > args.budget:
+            exit_code = 1
     if args.compare:
         report = compare_runs(results, baseline, tolerance=args.tolerance)
         print()
@@ -206,9 +261,32 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_trend(args: argparse.Namespace) -> int:
+    from .trend import collect_history, render_trend
+
+    paths = args.artifacts or sorted(glob.glob("BENCH_*.json"))
+    if not paths:
+        print("error: no artifacts given and no BENCH_*.json found here",
+              file=sys.stderr)
+        return 1
+    snapshots = collect_history(
+        paths,
+        include_git_history=not args.no_git_history,
+        max_revisions=args.max_revisions,
+    )
+    if args.scenario:
+        keep = {s.id for s in select_scenarios(args.scenario)}
+        for snapshot in snapshots:
+            snapshot.results = [r for r in snapshot.results if r.scenario_id in keep]
+        snapshots = [s for s in snapshots if s.results]
+    print(render_trend(snapshots))
+    return 0 if snapshots else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"list": cmd_list, "run": cmd_run, "compare": cmd_compare}
+    handlers = {"list": cmd_list, "run": cmd_run, "compare": cmd_compare,
+                "trend": cmd_trend}
     try:
         return handlers[args.command](args)
     except BrokenPipeError:  # e.g. `repro-bench list | head`

@@ -27,6 +27,7 @@ KINDS = (
     "staleness_bound",
     "kvcache_lifecycle",
     "weight_sync",
+    "broadcast_latency",
 )
 
 #: ``(key, value)`` pairs — hashable stand-in for a dict so the config stays frozen.
@@ -328,6 +329,20 @@ SCENARIOS: Tuple[ScenarioConfig, ...] = (
         warmup=0,
         timeout_s=60.0,
         tags=("weight_sync", "fig14", "smoke"),
+    ),
+    ScenarioConfig(
+        id="broadcast_latency",
+        description="Fig 18 relay broadcast latency: chain-pipelined weight "
+                    "broadcast time vs machine count (32B), with the Appendix D "
+                    "term breakdown and the GPU-direct comparison.",
+        kind="broadcast_latency",
+        systems=("laminar",),
+        model_size="32B",
+        gpu_scales=(128,),
+        iterations=1,
+        warmup=0,
+        timeout_s=60.0,
+        tags=("broadcast", "fig18", "smoke"),
     ),
     ScenarioConfig(
         id="staleness_bound_7b",

@@ -35,6 +35,7 @@ PRIMARY_METRICS: Dict[str, Tuple[str, bool]] = {
     "fault_injection": ("throughput_tok_s", True),
     "kvcache_lifecycle": ("mean_kvcache_utilization", True),
     "weight_sync": ("relay_speedup_vs_gpu_direct", True),
+    "broadcast_latency": ("broadcast_s_at_max_scale", False),
 }
 
 @dataclass
@@ -50,6 +51,8 @@ class UnitResult:
     status: str = "ok"  # ok | failed | timeout
     metrics: Dict[str, float] = field(default_factory=dict)
     error: str = ""
+    #: Optional cProfile report (``--profile`` runs only); never persisted.
+    profile_text: str = field(default="", compare=False, repr=False)
 
     @property
     def key(self) -> Tuple[str, str, int, str]:
@@ -281,6 +284,40 @@ def _run_weight_sync(unit: ScenarioUnit) -> Dict[str, float]:
     }
 
 
+def _run_broadcast_latency(unit: ScenarioUnit) -> Dict[str, float]:
+    from ..core.broadcast_model import (
+        broadcast_breakdown,
+        figure18_series,
+        optimal_chunks,
+    )
+    from ..sim.network import gpu_direct_global_sync_time
+
+    config = _build_config(unit, overrides_dict(unit.overrides))
+    model = config.model()
+    series = figure18_series(model)
+    max_machines = max(series)
+    breakdown = broadcast_breakdown(model, max_machines)
+    gpu_direct = gpu_direct_global_sync_time(model.weight_bytes, max_machines)
+    at_max = series[max_machines]
+    metrics: Dict[str, float] = {
+        f"broadcast_s_m{machines}": float(latency)
+        for machines, latency in sorted(series.items())
+    }
+    metrics.update({
+        "broadcast_s_at_max_scale": float(at_max),
+        "max_scale_machines": float(max_machines),
+        "optimal_chunks_at_max_scale": float(optimal_chunks(model, max_machines)),
+        "bandwidth_term_s": float(breakdown.bandwidth_term),
+        "latency_term_s": float(breakdown.latency_term),
+        "pipeline_term_s": float(breakdown.pipeline_term),
+        "gpu_direct_s_at_max_scale": float(gpu_direct),
+        "speedup_vs_gpu_direct_at_max_scale": (
+            float(gpu_direct / at_max) if at_max > 0 else float("inf")
+        ),
+    })
+    return metrics
+
+
 _EXECUTORS: Dict[str, Callable[[ScenarioUnit], Dict[str, float]]] = {
     "throughput": _run_throughput,
     "staleness_bound": _run_throughput,
@@ -289,6 +326,7 @@ _EXECUTORS: Dict[str, Callable[[ScenarioUnit], Dict[str, float]]] = {
     "repack_ablation": _run_repack_ablation,
     "kvcache_lifecycle": _run_kvcache_lifecycle,
     "weight_sync": _run_weight_sync,
+    "broadcast_latency": _run_broadcast_latency,
 }
 
 
@@ -337,6 +375,28 @@ def execute_unit(unit: ScenarioUnit, timeout_s: Optional[float] = None) -> UnitR
         if armed:
             signal.alarm(0)
             signal.signal(signal.SIGALRM, previous)
+    return result
+
+
+def execute_unit_profiled(
+    unit: ScenarioUnit, timeout_s: Optional[float] = None, top: int = 25
+) -> UnitResult:
+    """Run one grid point under cProfile; attaches the top-``top`` cumulative
+    report to ``result.profile_text`` (not persisted to artifacts)."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = execute_unit(unit, timeout_s)
+    finally:
+        profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top)
+    result.profile_text = stream.getvalue()
     return result
 
 
@@ -390,6 +450,7 @@ def run_scenarios(
     jobs: int = 1,
     timeout_s: Optional[float] = None,
     progress: Optional[Callable[[UnitResult], None]] = None,
+    profile_top: Optional[int] = None,
 ) -> List[ScenarioResult]:
     """Execute every unit of every scenario and regroup per scenario.
 
@@ -399,9 +460,17 @@ def run_scenarios(
     ``"timeout"``.  Serial runs enforce the same budget in-process (when on
     the main thread of a platform with ``SIGALRM``).  ``timeout_s`` overrides
     every scenario's own budget.
+
+    ``profile_top`` runs every unit under cProfile (serially, regardless of
+    ``jobs``) and attaches a top-N cumulative report to each result's
+    ``profile_text`` — the hot-path locator for perf work.
     """
     if jobs <= 0:
         raise ValueError("jobs must be positive")
+    if profile_top is not None and profile_top <= 0:
+        raise ValueError("profile_top must be positive")
+    if profile_top is not None:
+        jobs = 1  # profiles are collected in-process
     all_units: List[ScenarioUnit] = []
     for scenario in scenarios:
         all_units.extend(scenario.expand())
@@ -423,7 +492,10 @@ def run_scenarios(
         for unit in all_units:
             start_times.setdefault(unit.scenario_id, time.perf_counter())
             budget = timeout_s if timeout_s is not None else unit.timeout_s
-            note(unit, execute_unit(unit, budget))
+            if profile_top is not None:
+                note(unit, execute_unit_profiled(unit, budget, top=profile_top))
+            else:
+                note(unit, execute_unit(unit, budget))
         return _collect(scenarios, unit_results, elapsed)
 
     # No ``with`` block: a timed-out unit's worker is abandoned, and the

@@ -9,10 +9,12 @@ from .generation import (
     build_sequence_states,
 )
 from .environment import SimulatedEnvironment, TrajectoryFactory, difficulty_to_turns
+from .reference import ScalarReplicaGenerationState
 from .replica_config import RolloutReplicaConfig
 
 __all__ = [
     "ReplicaGenerationState",
+    "ScalarReplicaGenerationState",
     "ReplicaStats",
     "SequenceState",
     "SequenceStatus",

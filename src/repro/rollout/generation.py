@@ -19,6 +19,24 @@ Because every system shares this engine (and the roofline decode model inside
 it), throughput differences between systems come purely from orchestration —
 matching the paper's "alleviating implementation bias" methodology (§8).
 
+Structure-of-arrays core
+------------------------
+The inner engine is vectorized: per-sequence decode state (segment remaining,
+generated tokens, context length, environment return time) lives in numpy
+arrays indexed by a dense *slot* id, and the decode / env-wait sets are
+order-preserving parallel vectors of (seq id, slot, KVCache row)
+(:class:`_SeqVector`) maintained incrementally — so the per-event hot path is
+a handful of masked reductions and one clipped vector subtract, with no
+Python loop over the batch and no per-event cache rebuilds.  Per-sequence
+Python runs only on the rare control tail — admission, preemption, segment
+finishes, environment transitions — and the :class:`SequenceState` objects
+that external callers hold (repack, failover, the partial response pool) are
+re-synchronised from the arrays at every boundary where they can be observed
+(``sequences()``, removal, completion).
+``tests/test_engine_equivalence.py`` drives this engine step-for-step against
+the retained scalar reference (:mod:`repro.rollout.reference`) and asserts
+bit-identical trajectories, stats and KVCache occupancy.
+
 Decode semantics
 ----------------
 All actively decoding sequences advance one token per decode step; the decode
@@ -42,15 +60,20 @@ exists, and a ramp-down once it drains.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..llm.decode_model import DecodeModel
-from ..sim.kvcache import KVCache, KVCacheConfig
+from ..sim.kvcache import KVCache, KVCacheConfig, grow_array
 from ..types import Trajectory
 
 #: Numerical slack used when comparing simulated times.
 _EPS = 1e-9
+
+#: Initial slot / vector capacity of the SoA state (grown geometrically).
+_INITIAL_SLOTS = 64
 
 
 @dataclass
@@ -148,8 +171,76 @@ class ReplicaStats:
     preemptions: int = 0
 
 
+class _SeqVector:
+    """Order-preserving parallel arrays of (seq id, slot, KVCache row).
+
+    Backs the decode and env-wait sets of the vectorized engine.  Appends and
+    tail-pops are O(1) amortised; arbitrary deletions compact the prefix with
+    one vectorized copy.  Views returned by the accessors alias the backing
+    arrays and are valid until the next mutation.
+    """
+
+    __slots__ = ("ids", "slots", "rows", "n")
+
+    def __init__(self) -> None:
+        self.ids = np.empty(_INITIAL_SLOTS, dtype=np.int64)
+        self.slots = np.empty(_INITIAL_SLOTS, dtype=np.int64)
+        self.rows = np.empty(_INITIAL_SLOTS, dtype=np.int64)
+        self.n = 0
+
+    def __len__(self) -> int:
+        return self.n
+
+    def append(self, seq_id: int, slot: int, row: int) -> None:
+        if self.n == len(self.ids):
+            capacity = 2 * len(self.ids)
+            self.ids = grow_array(self.ids, capacity)
+            self.slots = grow_array(self.slots, capacity)
+            self.rows = grow_array(self.rows, capacity)
+        self.ids[self.n] = seq_id
+        self.slots[self.n] = slot
+        self.rows[self.n] = row
+        self.n += 1
+
+    def pop(self) -> Tuple[int, int, int]:
+        """Remove and return the most recently appended entry."""
+        self.n -= 1
+        i = self.n
+        return int(self.ids[i]), int(self.slots[i]), int(self.rows[i])
+
+    def ids_view(self) -> np.ndarray:
+        return self.ids[: self.n]
+
+    def slots_view(self) -> np.ndarray:
+        return self.slots[: self.n]
+
+    def rows_view(self) -> np.ndarray:
+        return self.rows[: self.n]
+
+    def ids_list(self) -> List[int]:
+        return [int(x) for x in self.ids[: self.n]]
+
+    def delete_positions(self, positions: Sequence[int]) -> None:
+        """Delete the entries at ``positions``, preserving the order of the rest."""
+        keep = np.ones(self.n, dtype=bool)
+        keep[positions] = False
+        kept = int(keep.sum())
+        for name in ("ids", "slots", "rows"):
+            arr = getattr(self, name)
+            arr[:kept] = arr[: self.n][keep]
+        self.n = kept
+
+    def remove_id(self, seq_id: int) -> bool:
+        """Delete the (first) entry for ``seq_id``; True if it was present."""
+        hits = np.flatnonzero(self.ids[: self.n] == seq_id)
+        if not len(hits):
+            return False
+        self.delete_positions(hits[:1])
+        return True
+
+
 class ReplicaGenerationState:
-    """Simulated decode engine for one rollout replica."""
+    """Simulated decode engine for one rollout replica (vectorized core)."""
 
     def __init__(
         self,
@@ -170,17 +261,73 @@ class ReplicaGenerationState:
         self.stats = ReplicaStats()
         self._sequences: Dict[int, SequenceState] = {}
         self._queued: List[int] = []
-        self._decoding: List[int] = []
-        self._env_wait: List[int] = []
+        #: Decode and env-wait sets: incrementally maintained (id, slot, row)
+        #: vectors in the same order the scalar engine kept its id lists.
+        self._dec = _SeqVector()
+        self._env = _SeqVector()
         self._completed: List[Trajectory] = []
         self._time_carry = 0.0
         #: Bumped on every mutation of the decode batch (admission, removal,
-        #: preemption, token growth); keys the step-time cache below.
+        #: preemption, token growth); keys the incremental event caches below.
         self._mutation = 0
         self._step_cache: Tuple[int, float] = (-1, 0.0)
+        self._min_seg_cache: Tuple[int, int] = (-1, 0)
+        self._env_min_cache: Tuple[int, float] = (-1, math.inf)
         #: Utilisation at the previous observation, for the ramp-down test
         #: (§5.2: a repack candidate has non-increasing KVCache utilisation).
         self.prev_utilization = 0.0
+        # SoA state, indexed by slot id (see _alloc_slot).
+        self._slots: Dict[int, int] = {}
+        self._free_slots: List[int] = []
+        self._a_seg_rem = np.zeros(_INITIAL_SLOTS, dtype=np.int64)
+        self._a_gen = np.zeros(_INITIAL_SLOTS, dtype=np.int64)
+        self._a_target = np.zeros(_INITIAL_SLOTS, dtype=np.int64)
+        self._a_prompt = np.zeros(_INITIAL_SLOTS, dtype=np.int64)
+        self._a_ctx = np.zeros(_INITIAL_SLOTS, dtype=np.int64)
+        self._a_done_turn = np.zeros(_INITIAL_SLOTS, dtype=np.int64)
+        self._a_env = np.full(_INITIAL_SLOTS, math.inf, dtype=np.float64)
+        self._a_last_ver = np.full(_INITIAL_SLOTS, -1, dtype=np.int64)
+
+    # ------------------------------------------------------------------ slots
+    def _alloc_slot(self, seq: SequenceState) -> int:
+        if not self._free_slots:
+            old = len(self._a_seg_rem)
+            new = 2 * old
+            for name in ("_a_seg_rem", "_a_gen", "_a_target", "_a_prompt",
+                         "_a_ctx", "_a_done_turn"):
+                setattr(self, name, grow_array(getattr(self, name), new))
+            self._a_env = grow_array(self._a_env, new, fill=math.inf)
+            self._a_last_ver = grow_array(self._a_last_ver, new, fill=-1)
+            self._free_slots.extend(range(new - 1, old - 1, -1))
+        slot = self._free_slots.pop()
+        trajectory = seq.trajectory
+        self._a_seg_rem[slot] = seq.segment_remaining
+        self._a_gen[slot] = trajectory.generated_tokens
+        self._a_target[slot] = trajectory.target_tokens
+        self._a_prompt[slot] = trajectory.prompt.prompt_tokens
+        self._a_ctx[slot] = trajectory.prompt.prompt_tokens + trajectory.generated_tokens
+        self._a_done_turn[slot] = seq.tokens_done_in_turn
+        self._a_env[slot] = seq.env_return_time
+        self._a_last_ver[slot] = -1
+        self._slots[seq.seq_id] = slot
+        return slot
+
+    def _release_slot(self, seq_id: int) -> None:
+        self._free_slots.append(self._slots.pop(seq_id))
+
+    def _sync_sequence(self, seq_id: int) -> None:
+        """Write array-held (lazy) fields back to the sequence/trajectory."""
+        slot = self._slots[seq_id]
+        seq = self._sequences[seq_id]
+        seq.tokens_done_in_turn = int(self._a_done_turn[slot])
+        trajectory = seq.trajectory
+        trajectory.generated_tokens = min(
+            trajectory.target_tokens, int(self._a_gen[slot])
+        )
+
+    def _sync_all(self) -> None:
+        for seq_id in self._sequences:
+            self._sync_sequence(seq_id)
 
     # ------------------------------------------------------------------ intake
     def add_sequences(self, sequences: Sequence[SequenceState]) -> None:
@@ -190,6 +337,7 @@ class ReplicaGenerationState:
                 raise ValueError(f"sequence {seq.seq_id} already on replica {self.replica_id}")
             seq.status = SequenceStatus.QUEUED
             self._sequences[seq.seq_id] = seq
+            self._alloc_slot(seq)
             self._queued.append(seq.seq_id)
         self._try_admit()
 
@@ -197,14 +345,20 @@ class ReplicaGenerationState:
         """Detach (in-progress) sequences, e.g. when repacked to another replica."""
         removed: List[SequenceState] = []
         for seq_id in seq_ids:
-            seq = self._sequences.pop(seq_id, None)
+            seq = self._sequences.get(seq_id)
             if seq is None:
                 continue
-            for bucket in (self._queued, self._decoding, self._env_wait):
-                if seq_id in bucket:
-                    bucket.remove(seq_id)
-            if seq.status in (SequenceStatus.DECODING, SequenceStatus.ENV_WAIT):
+            self._sync_sequence(seq_id)
+            del self._sequences[seq_id]
+            if seq.status == SequenceStatus.QUEUED:
+                self._queued.remove(seq_id)
+            elif seq.status == SequenceStatus.DECODING:
+                self._dec.remove_id(seq_id)
                 self.kvcache.free(seq_id)
+            elif seq.status == SequenceStatus.ENV_WAIT:
+                self._env.remove_id(seq_id)
+                self.kvcache.free(seq_id)
+            self._release_slot(seq_id)
             removed.append(seq)
         if removed:
             self._mutation += 1
@@ -222,7 +376,7 @@ class ReplicaGenerationState:
 
     @property
     def num_decoding(self) -> int:
-        return len(self._decoding)
+        return self._dec.n
 
     @property
     def num_queued(self) -> int:
@@ -230,7 +384,7 @@ class ReplicaGenerationState:
 
     @property
     def num_env_waiting(self) -> int:
-        return len(self._env_wait)
+        return self._env.n
 
     @property
     def kvcache_utilization(self) -> float:
@@ -246,31 +400,54 @@ class ReplicaGenerationState:
         return completed
 
     def sequences(self) -> List[SequenceState]:
+        self._sync_all()
         return list(self._sequences.values())
 
     def mean_context_tokens(self) -> float:
-        if not self._decoding:
+        if not self._dec.n:
             return 0.0
-        total = sum(self._sequences[sid].context_tokens for sid in self._decoding)
-        return total / len(self._decoding)
+        total = int(self._a_ctx[self._dec.slots_view()].sum())
+        return total / self._dec.n
 
     def current_step_time(self) -> float:
         """Decode-step latency of the live batch.
 
         Cached against the mutation counter: callers typically ask for the
         step time twice per event (once to find the next event, once to apply
-        the elapsed window), and the O(batch) context scan dominates the
-        event-driven hot path.
+        the elapsed window), and the O(batch) context reduction is the widest
+        scan on the event-driven hot path.
         """
-        if not self._decoding:
+        if not self._dec.n:
             return 0.0
         version, value = self._step_cache
         if version == self._mutation:
             return value
         value = self.decode_model.decode_step_time(
-            len(self._decoding), int(self.mean_context_tokens())
+            self._dec.n, int(self.mean_context_tokens())
         )
         self._step_cache = (self._mutation, value)
+        return value
+
+    def _min_segment_remaining(self) -> int:
+        """Smallest segment remainder in the decode batch (incrementally cached).
+
+        Valid only while the decode set is non-empty.  ``next_event_in`` and
+        ``advance`` both need this reduction for the same event; caching it
+        against the mutation counter means the second caller (and every driver
+        re-entry without an intervening mutation) pays O(1).
+        """
+        version, value = self._min_seg_cache
+        if version != self._mutation:
+            value = int(self._a_seg_rem[self._dec.slots_view()].min())
+            self._min_seg_cache = (self._mutation, value)
+        return value
+
+    def _earliest_env_return(self) -> float:
+        """Earliest environment return time (incrementally cached)."""
+        version, value = self._env_min_cache
+        if version != self._mutation:
+            value = float(self._a_env[self._env.slots_view()].min())
+            self._env_min_cache = (self._mutation, value)
         return value
 
     def in_ramp_down(self, c_max: Optional[float] = None) -> bool:
@@ -294,19 +471,21 @@ class ReplicaGenerationState:
         admitted_any = True
         while admitted_any and self._queued:
             admitted_any = False
-            if len(self._decoding) + len(self._env_wait) >= self.max_concurrency:
+            if self._dec.n + self._env.n >= self.max_concurrency:
                 return
             seq_id = self._queued[0]
             seq = self._sequences[seq_id]
-            needed = seq.context_tokens + self.admission_lookahead_tokens
+            slot = self._slots[seq_id]
+            context = int(self._a_ctx[slot])
+            needed = context + self.admission_lookahead_tokens
             if not self.kvcache.can_allocate(needed):
                 return
             self._queued.pop(0)
-            self.kvcache.allocate(seq_id, seq.context_tokens + 1)
+            row = self.kvcache.allocate(seq_id, context + 1)
             seq.status = SequenceStatus.DECODING
-            self._decoding.append(seq_id)
+            self._dec.append(seq_id, slot, row)
             if seq.needs_reprefill:
-                self.stats.reprefill_tokens += seq.context_tokens
+                self.stats.reprefill_tokens += context
                 seq.needs_reprefill = False
             else:
                 self.stats.prompt_tokens_prefilled += seq.trajectory.prompt.prompt_tokens
@@ -318,9 +497,9 @@ class ReplicaGenerationState:
 
         Returns True if a sequence was preempted.
         """
-        if len(self._decoding) <= 1:
+        if self._dec.n <= 1:
             return False
-        seq_id = self._decoding.pop()
+        seq_id, _slot, _row = self._dec.pop()
         seq = self._sequences[seq_id]
         self.kvcache.free(seq_id)
         seq.status = SequenceStatus.QUEUED
@@ -334,51 +513,58 @@ class ReplicaGenerationState:
         """Preempt sequences until every decoding sequence can grow by ``tokens``."""
         # Fast path: growing by ``tokens`` adds at most ceil(tokens/block) + 1
         # blocks per sequence, so a roomy cache never needs the exact scan.
-        upper_bound = len(self._decoding) * (self.kvcache.blocks_for(tokens) + 1)
+        upper_bound = self._dec.n * (self.kvcache.blocks_for(tokens) + 1)
         if upper_bound <= self.kvcache.free_blocks:
             return
         while True:
-            needed_blocks = 0
-            for seq_id in self._decoding:
-                current = self.kvcache.sequence_tokens(seq_id)
-                needed_blocks += (
-                    self.kvcache.blocks_for(current + tokens) - self.kvcache.blocks_for(current)
-                )
+            current = self.kvcache.tokens_at(self._dec.rows_view())
+            needed_blocks = int(
+                (self.kvcache.blocks_for_many(current + tokens)
+                 - self.kvcache.blocks_for_many(current)).sum()
+            )
             if needed_blocks <= self.kvcache.free_blocks:
                 return
             if not self._preempt_one():
                 return
 
     def _release_env_returns(self) -> None:
-        returned = [sid for sid in self._env_wait
-                    if self._sequences[sid].env_return_time <= self.clock + _EPS]
-        for seq_id in returned:
-            self._env_wait.remove(seq_id)
+        env = self._env
+        if not env.n:
+            return
+        ready = self._a_env[env.slots_view()] <= self.clock + _EPS
+        if not ready.any():
+            return
+        positions = np.flatnonzero(ready)
+        for p in positions:
+            seq_id, slot, row = int(env.ids[p]), int(env.slots[p]), int(env.rows[p])
             seq = self._sequences[seq_id]
             seq.status = SequenceStatus.DECODING
             seq.env_return_time = math.inf
-            self._decoding.append(seq_id)
-        if returned:
-            self._mutation += 1
+            self._a_env[slot] = math.inf
+            self._dec.append(seq_id, slot, row)
+        env.delete_positions(positions)
+        self._mutation += 1
 
     def next_event_in(self) -> Optional[float]:
         """Time until the next internal event, or ``None`` if the replica is empty.
 
         Internal events are: a decoding sequence finishing its current segment,
         or an environment interaction returning.  Admission happens eagerly and
-        never needs a timer.
+        never needs a timer.  The underlying reductions are cached against the
+        mutation counter, so a driver that calls ``next_event_in`` and then
+        ``advance`` for the same event pays for the scan once.
         """
         if not self._sequences:
             return None
         self._release_env_returns()
         self._try_admit()
         candidates: List[float] = []
-        if self._decoding:
+        if self._dec.n:
             step = self.current_step_time()
-            min_seg = min(self._sequences[sid].segment_remaining for sid in self._decoding)
+            min_seg = self._min_segment_remaining()
             candidates.append(max(_EPS, min_seg * step - self._time_carry))
-        if self._env_wait:
-            earliest = min(self._sequences[sid].env_return_time for sid in self._env_wait)
+        if self._env.n:
+            earliest = self._earliest_env_return()
             candidates.append(max(_EPS, earliest - self.clock))
         if not candidates:
             # Only queued sequences that cannot be admitted: the replica is
@@ -399,15 +585,15 @@ class ReplicaGenerationState:
         while self.clock < target - _EPS:
             self._release_env_returns()
             self._try_admit()
-            if not self._decoding:
+            if not self._dec.n:
                 # Nothing to decode: jump to the next env return (or the target).
-                if self._env_wait:
-                    earliest = min(self._sequences[sid].env_return_time for sid in self._env_wait)
+                if self._env.n:
+                    earliest = self._earliest_env_return()
                     next_clock = min(target, max(earliest, self.clock))
                 else:
                     next_clock = target
                 blocked = next_clock - self.clock
-                if self._env_wait:
+                if self._env.n:
                     self.stats.env_blocked_time += blocked
                 else:
                     self.stats.idle_time += blocked
@@ -415,11 +601,11 @@ class ReplicaGenerationState:
                 continue
 
             step = self.current_step_time()
-            min_seg = min(self._sequences[sid].segment_remaining for sid in self._decoding)
+            min_seg = self._min_segment_remaining()
             time_to_segment = min_seg * step - self._time_carry
             time_to_env = math.inf
-            if self._env_wait:
-                time_to_env = min(self._sequences[sid].env_return_time for sid in self._env_wait) - self.clock
+            if self._env.n:
+                time_to_env = self._earliest_env_return() - self.clock
             window = min(time_to_segment, time_to_env, target - self.clock)
             window = max(window, 0.0)
 
@@ -432,33 +618,68 @@ class ReplicaGenerationState:
             self.stats.decode_busy_time += window
             self.clock += window
             if window <= _EPS and tokens == 0:
-                # Avoid an infinite loop on degenerate windows.
-                self.clock = min(target, self.clock + _EPS)
+                # Avoid an infinite loop on degenerate windows; the epsilon
+                # slip is charged to the decode-busy bucket (a decode batch is
+                # live here) so busy + idle + env-blocked keeps covering the
+                # clock.
+                new_clock = min(target, self.clock + _EPS)
+                self.stats.decode_busy_time += new_clock - self.clock
+                self.clock = new_clock
         self._completed.extend(completed_now)
         return completed_now
 
     def _apply_decode(self, tokens: int, completed_now: List[Trajectory]) -> None:
-        """Advance every decoding sequence by ``tokens`` tokens."""
+        """Advance every decoding sequence by up to ``tokens`` tokens (vectorized)."""
         self._mutation += 1  # contexts grow even when the batch set is unchanged
         self._ensure_growth_capacity(tokens)
-        finished_segment: List[int] = []
-        for seq_id in list(self._decoding):
-            seq = self._sequences[seq_id]
-            step_tokens = min(tokens, seq.segment_remaining)
-            seq.tokens_done_in_turn += step_tokens
-            seq.trajectory.advance(step_tokens, self.weight_version)
-            self.kvcache.append_tokens(seq_id, step_tokens)
-            self.stats.tokens_generated += step_tokens
-            if seq.segment_remaining == 0:
-                finished_segment.append(seq_id)
-        for seq_id in finished_segment:
+        dec = self._dec
+        slots = dec.slots_view()
+        seg = self._a_seg_rem[slots]
+        step_tokens = np.minimum(tokens, seg)
+        new_gen = np.minimum(self._a_target[slots], self._a_gen[slots] + step_tokens)
+        self._a_gen[slots] = new_gen
+        self._a_ctx[slots] = self._a_prompt[slots] + new_gen
+        self._a_done_turn[slots] += step_tokens
+        new_seg = seg - step_tokens
+        self._a_seg_rem[slots] = new_seg
+        # Tag trajectories decoding under this weight version for the first
+        # time (only right after add/version-bump: the vector fast path skips
+        # already-tagged slots).
+        stale = self._a_last_ver[slots] != self.weight_version
+        if stale.any():
+            version = self.weight_version
+            ids = dec.ids_view()
+            for position in np.flatnonzero(stale):
+                trajectory = self._sequences[int(ids[position])].trajectory
+                if version not in trajectory.versions_used:
+                    trajectory.versions_used.append(version)
+            self._a_last_ver[slots[stale]] = version
+        self.kvcache.append_tokens_many(dec.ids_view(), step_tokens, rows=dec.rows_view())
+        self.stats.tokens_generated += int(step_tokens.sum())
+        finished_positions = np.flatnonzero(new_seg == 0)
+        if len(finished_positions):
+            self._finish_segments(finished_positions, completed_now)
+            self._mutation += 1
+        self._try_admit()
+
+    def _finish_segments(
+        self, positions: np.ndarray, completed_now: List[Trajectory]
+    ) -> None:
+        """Per-sequence control tail for sequences whose segment just ended."""
+        dec = self._dec
+        leaving: List[int] = []
+        for position in positions:
+            seq_id = int(dec.ids[position])
+            slot = int(dec.slots[position])
             seq = self._sequences[seq_id]
             env_latency = seq.schedule.env_latencies[seq.turn_index]
             last_turn = seq.turn_index == seq.schedule.num_turns - 1
             if last_turn:
-                self._decoding.remove(seq_id)
+                leaving.append(int(position))
                 self.kvcache.free(seq_id)
+                self._sync_sequence(seq_id)
                 del self._sequences[seq_id]
+                self._release_slot(seq_id)
                 seq.status = SequenceStatus.DONE
                 seq.trajectory.finish_time = self.clock
                 seq.trajectory.replica_id = self.replica_id
@@ -468,13 +689,17 @@ class ReplicaGenerationState:
             else:
                 seq.turn_index += 1
                 seq.tokens_done_in_turn = 0
+                self._a_done_turn[slot] = 0
+                self._a_seg_rem[slot] = seq.schedule.segments[seq.turn_index]
                 seq.trajectory.turns_done = seq.turn_index
                 if env_latency > 0:
-                    self._decoding.remove(seq_id)
+                    leaving.append(int(position))
                     seq.status = SequenceStatus.ENV_WAIT
                     seq.env_return_time = self.clock + env_latency
-                    self._env_wait.append(seq_id)
-        self._try_admit()
+                    self._a_env[slot] = seq.env_return_time
+                    self._env.append(seq_id, slot, int(dec.rows[position]))
+        if leaving:
+            dec.delete_positions(leaving)
 
     def inject_stall(self, duration: float, *, busy: bool = True) -> None:
         """Advance the replica clock by ``duration`` without decoding.
@@ -501,7 +726,11 @@ class ReplicaGenerationState:
         pause-and-sync cycle (§2.3): after a weight update, every interrupted
         trajectory must rebuild its KVCache before decoding can continue.
         """
-        inflight = [self._sequences[sid] for sid in self._decoding + self._env_wait]
+        self._sync_all()
+        inflight = [
+            self._sequences[sid]
+            for sid in self._dec.ids_list() + self._env.ids_list()
+        ]
         total_context = sum(seq.context_tokens for seq in inflight)
         if total_context == 0:
             return 0.0

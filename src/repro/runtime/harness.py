@@ -64,6 +64,12 @@ def drain_replica(env: Environment, replica: ReplicaGenerationState) -> Generato
 
     Returns ``(elapsed_local_time, completed_trajectories)`` exactly like
     :meth:`ReplicaGenerationState.run_to_completion`.
+
+    The ``next_event_in`` / ``advance`` pair leans on the engine's
+    incremental event accessors: both calls need the same (step time, min
+    segment, earliest env return) reductions, and the engine caches them
+    against its mutation counter, so the ``advance`` after the timeout pays
+    O(1) for its first window instead of re-scanning the batch.
     """
     start = replica.clock
     completed: List[Trajectory] = []
@@ -197,7 +203,10 @@ def replica_driver(env: Environment, replica_id: int, fleet: ReplicaFleet) -> Ge
     replica is actively decoding; a weight-pull or re-prefill stall may push
     the local clock *ahead* of simulated time, in which case the driver simply
     sleeps until the stall has elapsed.  Interrupts mean "something changed,
-    recompute" and carry no payload.
+    recompute" and carry no payload.  Recomputation is cheap: the engine's
+    next-event reductions are cached against its mutation counter, so a driver
+    woken without an intervening replica mutation (e.g. a broadcast ``touch``)
+    re-derives its next event in O(1) rather than re-scanning the decode batch.
     """
     while True:
         replica = fleet.replica(replica_id)

@@ -20,9 +20,15 @@ Laminar control flow as four kinds of processes:
 
 Repack pulls and stall injections mutate replicas under their sleeping
 drivers; the runtime interrupts the affected drivers
-(:meth:`Process.interrupt`) so they recompute their next event.  All policy
-(what to refill, how to score, who hosts which replica) stays on
-:class:`~repro.core.laminar.LaminarSystem`; this module is pure mechanism.
+(:meth:`Process.interrupt`) so they recompute their next event.  The repack
+path broadcasts a ``touch`` to *every* driver (sources were emptied,
+destinations grew, and the shared migration stall moved all the clocks) —
+that is affordable because the engine's next-event reductions are cached
+against its per-replica mutation counter, so drivers whose replica was not
+actually mutated re-derive their event in O(1) instead of re-scanning their
+decode batch.  All policy (what to refill, how to score, who hosts which
+replica) stays on :class:`~repro.core.laminar.LaminarSystem`; this module is
+pure mechanism.
 """
 
 from __future__ import annotations

@@ -6,13 +6,24 @@ blocks, allocated per in-flight trajectory as it grows.  The model exposes the
 utilisation lifecycle of Figure 9: ramp-up while waiting trajectories fill
 freed space, a steady plateau near ``C_max``, and a ramp-down once no waiting
 trajectories remain.
+
+The per-sequence ledger is stored structure-of-arrays (parallel numpy arrays
+of sequence ids / tokens / blocks plus an id→row index), so the vectorized
+replica engine can grow every decoding sequence in one call
+(:meth:`KVCache.append_tokens_many`) instead of one dict update per sequence
+per decode event.  Freed rows go on a free list rather than being compacted,
+so a sequence's row handle (:meth:`KVCache.row_of`, returned by
+:meth:`KVCache.allocate`) stays valid for its whole residency — the engine
+keeps per-sequence row arrays alive across arbitrary interleavings of frees
+and allocations without re-resolving ids.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
+import numpy as np
 
 #: Default vLLM-style block size in tokens.
 DEFAULT_BLOCK_SIZE = 16
@@ -20,9 +31,24 @@ DEFAULT_BLOCK_SIZE = 16
 #: "Full" utilisation threshold C_max from §5.2 (99% of the cache).
 DEFAULT_C_MAX = 0.99
 
+#: Initial row capacity of the SoA ledger (grown geometrically).
+_INITIAL_CAPACITY = 64
+
 
 class KVCacheError(RuntimeError):
     """Raised on illegal KVCache operations (double free, over-allocation)."""
+
+
+def grow_array(array: np.ndarray, capacity: int, fill=0) -> np.ndarray:
+    """Return ``array`` re-homed in a ``capacity``-sized buffer of ``fill``.
+
+    Shared by every geometric grow-and-copy site of the SoA state (the
+    KVCache ledger, the replica slot arrays, the decode/env-wait vectors) so
+    the growth policy lives in one place.
+    """
+    grown = np.full(capacity, fill, dtype=array.dtype)
+    grown[: len(array)] = array
+    return grown
 
 
 @dataclass
@@ -47,21 +73,21 @@ class KVCacheConfig:
         return self.total_blocks * self.block_size
 
 
-@dataclass
-class _Allocation:
-    tokens: int = 0
-    blocks: int = 0
-
-
-@dataclass
 class KVCache:
     """Block-granular KVCache for a single rollout replica."""
 
-    config: KVCacheConfig
-    _allocations: Dict[int, _Allocation] = field(default_factory=dict)
-    _used_blocks: int = 0
-    peak_blocks: int = 0
-    _usage_history: List[float] = field(default_factory=list)
+    def __init__(self, config: KVCacheConfig) -> None:
+        self.config = config
+        self.peak_blocks = 0
+        self._used_blocks = 0
+        self._usage_history: List[float] = []
+        # SoA ledger: row r holds (_tokens[r], _blocks[r]) for one live
+        # sequence; _row_of maps seq_id -> row.  Freed rows are recycled via
+        # _free_rows, never compacted, so live rows are stable handles.
+        self._tokens = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
+        self._blocks = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
+        self._row_of: Dict[int, int] = {}
+        self._free_rows: List[int] = list(range(_INITIAL_CAPACITY - 1, -1, -1))
 
     # -- allocation ---------------------------------------------------------
     def blocks_for(self, tokens: int) -> int:
@@ -72,13 +98,24 @@ class KVCache:
             return 0
         return -(-tokens // self.config.block_size)
 
+    def blocks_for_many(self, tokens: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`blocks_for` (tokens must be non-negative)."""
+        return -(-tokens // self.config.block_size)
+
     def can_allocate(self, tokens: int) -> bool:
         """True if a new sequence of ``tokens`` tokens fits right now."""
         return self._used_blocks + self.blocks_for(tokens) <= self.config.total_blocks
 
-    def allocate(self, seq_id: int, tokens: int) -> None:
-        """Reserve cache space for a new sequence ``seq_id`` of ``tokens`` tokens."""
-        if seq_id in self._allocations:
+    def _grow_ledger(self) -> None:
+        old = len(self._tokens)
+        new = 2 * old
+        self._tokens = grow_array(self._tokens, new)
+        self._blocks = grow_array(self._blocks, new)
+        self._free_rows.extend(range(new - 1, old - 1, -1))
+
+    def allocate(self, seq_id: int, tokens: int) -> int:
+        """Reserve cache space for a new sequence; returns its stable row handle."""
+        if seq_id in self._row_of:
             raise KVCacheError(f"sequence {seq_id} already allocated")
         blocks = self.blocks_for(tokens)
         if self._used_blocks + blocks > self.config.total_blocks:
@@ -86,40 +123,108 @@ class KVCache:
                 f"cannot allocate {blocks} blocks for seq {seq_id}: "
                 f"{self.free_blocks} free"
             )
-        self._allocations[seq_id] = _Allocation(tokens=tokens, blocks=blocks)
+        if not self._free_rows:
+            self._grow_ledger()
+        row = self._free_rows.pop()
+        self._tokens[row] = tokens
+        self._blocks[row] = blocks
+        self._row_of[seq_id] = row
         self._used_blocks += blocks
         self.peak_blocks = max(self.peak_blocks, self._used_blocks)
+        return row
 
     def append_tokens(self, seq_id: int, tokens: int = 1) -> None:
         """Grow sequence ``seq_id`` by ``tokens`` decoded tokens."""
         if tokens < 0:
             raise ValueError("tokens must be non-negative")
-        alloc = self._allocations.get(seq_id)
-        if alloc is None:
+        row = self._row_of.get(seq_id)
+        if row is None:
             raise KVCacheError(f"sequence {seq_id} is not allocated")
-        new_total = alloc.tokens + tokens
+        new_total = int(self._tokens[row]) + tokens
         new_blocks = self.blocks_for(new_total)
-        delta = new_blocks - alloc.blocks
+        delta = new_blocks - int(self._blocks[row])
         if delta > 0:
             if self._used_blocks + delta > self.config.total_blocks:
                 raise KVCacheError(f"KVCache overflow growing sequence {seq_id}")
             self._used_blocks += delta
-        alloc.tokens = new_total
-        alloc.blocks = new_blocks
+        self._tokens[row] = new_total
+        self._blocks[row] = new_blocks
+        self.peak_blocks = max(self.peak_blocks, self._used_blocks)
+
+    def append_tokens_many(
+        self,
+        seq_ids: Sequence[int],
+        tokens: np.ndarray,
+        rows: Optional[np.ndarray] = None,
+    ) -> None:
+        """Grow many sequences at once (the vectorized decode hot path).
+
+        ``tokens[i]`` decoded tokens are appended to ``seq_ids[i]``.  Callers
+        that hold the stable row handles (from :meth:`allocate` or
+        :meth:`rows_for`) pass them via ``rows`` to skip the id lookups.
+        """
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.size == 0:
+            return
+        if np.any(tokens < 0):
+            raise ValueError("tokens must be non-negative")
+        if rows is None:
+            rows = self.rows_for(seq_ids)
+        new_totals = self._tokens[rows] + tokens
+        new_blocks = self.blocks_for_many(new_totals)
+        grow = int((new_blocks - self._blocks[rows]).sum())
+        if grow > 0 and self._used_blocks + grow > self.config.total_blocks:
+            # Replicate the scalar error semantics exactly: apply sequences in
+            # order until the one that overflows, then raise.
+            for seq_id, count in zip(seq_ids, tokens):
+                self.append_tokens(int(seq_id), int(count))
+            raise AssertionError("unreachable: scalar fallback must overflow")
+        self._tokens[rows] = new_totals
+        self._blocks[rows] = new_blocks
+        self._used_blocks += grow
         self.peak_blocks = max(self.peak_blocks, self._used_blocks)
 
     def free(self, seq_id: int) -> int:
         """Release the sequence's blocks, returning how many were freed."""
-        alloc = self._allocations.pop(seq_id, None)
-        if alloc is None:
+        row = self._row_of.pop(seq_id, None)
+        if row is None:
             raise KVCacheError(f"sequence {seq_id} is not allocated")
-        self._used_blocks -= alloc.blocks
-        return alloc.blocks
+        blocks = int(self._blocks[row])
+        self._free_rows.append(row)
+        self._used_blocks -= blocks
+        return blocks
+
+    def free_many(self, seq_ids: Sequence[int]) -> int:
+        """Release many sequences; returns the total number of blocks freed."""
+        return sum(self.free(int(seq_id)) for seq_id in seq_ids)
 
     def evict_all(self) -> None:
         """Drop every allocation (used when a replica is repacked away or fails)."""
-        self._allocations.clear()
+        self._row_of.clear()
+        self._free_rows = list(range(len(self._tokens) - 1, -1, -1))
         self._used_blocks = 0
+
+    # -- batched inspection ---------------------------------------------------
+    def row_of(self, seq_id: int) -> int:
+        """Stable row handle of a live sequence (valid until it is freed)."""
+        row = self._row_of.get(seq_id)
+        if row is None:
+            raise KVCacheError(f"sequence {seq_id} is not allocated")
+        return row
+
+    def rows_for(self, seq_ids: Sequence[int]) -> np.ndarray:
+        """Row handles for ``seq_ids`` (each valid until that sequence is freed)."""
+        row_of = self._row_of
+        try:
+            return np.fromiter(
+                (row_of[int(s)] for s in seq_ids), dtype=np.int64, count=len(seq_ids)
+            )
+        except KeyError as exc:
+            raise KVCacheError(f"sequence {exc.args[0]} is not allocated") from None
+
+    def tokens_at(self, rows: np.ndarray) -> np.ndarray:
+        """Cached token counts for the given row handles."""
+        return self._tokens[rows]
 
     # -- inspection -----------------------------------------------------------
     @property
@@ -137,16 +242,16 @@ class KVCache:
 
     @property
     def num_sequences(self) -> int:
-        return len(self._allocations)
+        return len(self._row_of)
 
     def sequence_tokens(self, seq_id: int) -> int:
-        alloc = self._allocations.get(seq_id)
-        if alloc is None:
+        row = self._row_of.get(seq_id)
+        if row is None:
             raise KVCacheError(f"sequence {seq_id} is not allocated")
-        return alloc.tokens
+        return int(self._tokens[row])
 
     def sequence_ids(self) -> List[int]:
-        return list(self._allocations)
+        return list(self._row_of)
 
     def is_full(self) -> bool:
         """True if utilisation has reached the C_max threshold."""

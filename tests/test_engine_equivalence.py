@@ -1,0 +1,311 @@
+"""Bit-identity harness: vectorized engine vs the retained scalar reference.
+
+Two engines — :class:`repro.rollout.ReplicaGenerationState` (structure-of-
+arrays) and :class:`repro.rollout.ScalarReplicaGenerationState` (the
+pre-vectorization per-sequence loop) — are driven through identical event
+sequences: seeded random multi-turn workloads with interleaved repack-style
+pulls and re-adds, stalls, weight-version bumps, partial-rollout re-prefills
+and tiny cache pools that force queueing and preemption storms.  Every
+committed ``BENCH_*.json`` baseline rests on this equivalence: the vector
+engine must be *bit-identical*, not approximately equal.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.llm import QWEN_7B
+from repro.rollout import (
+    ReplicaGenerationState,
+    RolloutReplicaConfig,
+    ScalarReplicaGenerationState,
+    SequenceState,
+    TurnSchedule,
+)
+from repro.sim import KVCacheConfig
+from repro.types import Prompt, Trajectory
+
+DECODE_MODEL = RolloutReplicaConfig(QWEN_7B, tensor_parallel=1).decode_model()
+
+
+def make_engines(blocks=512, max_concurrency=64):
+    kwargs = dict(
+        replica_id=0,
+        decode_model=DECODE_MODEL,
+        kvcache_config=KVCacheConfig(total_blocks=blocks),
+        max_concurrency=max_concurrency,
+    )
+    return ScalarReplicaGenerationState(**kwargs), ReplicaGenerationState(**kwargs)
+
+
+def make_states(seed: int, count: int, start_id: int, multi_turn=True):
+    """Deterministic workload fabrication; call twice for mirrored copies."""
+    rng = np.random.default_rng(seed)
+    states = []
+    for i in range(count):
+        num_turns = int(rng.integers(1, 4)) if multi_turn else 1
+        segments = [int(rng.integers(5, 120)) for _ in range(num_turns)]
+        env_latencies = [float(rng.uniform(0.5, 10.0)) for _ in range(num_turns - 1)]
+        env_latencies.append(0.0)
+        prompt = Prompt(
+            prompt_id=start_id + i, group_id=0,
+            prompt_tokens=int(rng.integers(16, 256)),
+        )
+        trajectory = Trajectory(
+            traj_id=start_id + i, prompt=prompt, target_tokens=sum(segments)
+        )
+        states.append(
+            SequenceState(
+                trajectory=trajectory,
+                schedule=TurnSchedule(segments=segments, env_latencies=env_latencies),
+            )
+        )
+    return states
+
+
+def assert_engines_identical(scalar, vector):
+    assert scalar.clock == vector.clock
+    assert scalar._time_carry == vector._time_carry
+    assert scalar.stats == vector.stats
+    assert scalar.num_sequences == vector.num_sequences
+    assert scalar.num_decoding == vector.num_decoding
+    assert scalar.num_queued == vector.num_queued
+    assert scalar.num_env_waiting == vector.num_env_waiting
+    assert scalar.kvcache.used_blocks == vector.kvcache.used_blocks
+    assert scalar.kvcache.peak_blocks == vector.kvcache.peak_blocks
+    assert scalar.kvcache.num_sequences == vector.kvcache.num_sequences
+    s_states = {s.seq_id: s for s in scalar.sequences()}
+    v_states = {s.seq_id: s for s in vector.sequences()}
+    assert s_states.keys() == v_states.keys()
+    for seq_id, s in s_states.items():
+        v = v_states[seq_id]
+        assert s.status == v.status, seq_id
+        assert s.turn_index == v.turn_index, seq_id
+        assert s.tokens_done_in_turn == v.tokens_done_in_turn, seq_id
+        assert s.env_return_time == v.env_return_time, seq_id
+        assert s.needs_reprefill == v.needs_reprefill, seq_id
+        assert s.trajectory.generated_tokens == v.trajectory.generated_tokens, seq_id
+        assert s.trajectory.versions_used == v.trajectory.versions_used, seq_id
+        assert s.trajectory.turns_done == v.trajectory.turns_done, seq_id
+        if s.status in ("decoding", "env_wait"):
+            assert (
+                scalar.kvcache.sequence_tokens(seq_id)
+                == vector.kvcache.sequence_tokens(seq_id)
+            ), seq_id
+
+
+def assert_completions_identical(scalar_done, vector_done):
+    assert [t.traj_id for t in scalar_done] == [t.traj_id for t in vector_done]
+    for s, v in zip(scalar_done, vector_done):
+        assert s.finish_time == v.finish_time
+        assert s.generated_tokens == v.generated_tokens
+        assert s.turns_done == v.turns_done
+        assert s.versions_used == v.versions_used
+        assert s.replica_id == v.replica_id
+
+
+# --------------------------------------------------------------------------- fuzz
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 7])
+def test_fuzzed_random_workload_is_bit_identical(seed):
+    """Random multi-turn workloads + pulls + stalls: step-for-step identity."""
+    scalar, vector = make_engines(blocks=384, max_concurrency=48)
+    op_rng = np.random.default_rng(1000 + seed)
+    next_id = 0
+    parked_scalar, parked_vector = [], []  # repack-pulled, waiting to re-add
+    version = 0
+
+    def add_batch(count):
+        nonlocal next_id
+        scalar.add_sequences(make_states(seed * 971 + next_id, count, next_id))
+        vector.add_sequences(make_states(seed * 971 + next_id, count, next_id))
+        next_id += count
+
+    add_batch(int(op_rng.integers(8, 20)))
+    for _ in range(240):
+        op = op_rng.random()
+        if op < 0.62:  # drive to (or through) the next internal event
+            delta_s, delta_v = scalar.next_event_in(), vector.next_event_in()
+            assert delta_s == delta_v
+            if delta_s is None:
+                if not scalar.num_sequences:
+                    add_batch(int(op_rng.integers(4, 12)))
+                continue
+            stretch = float(op_rng.uniform(0.3, 1.7))
+            assert_completions_identical(
+                scalar.advance(delta_s * stretch), vector.advance(delta_v * stretch)
+            )
+        elif op < 0.72:  # arbitrary window, unaligned with events
+            window = float(op_rng.uniform(0.01, 30.0))
+            assert_completions_identical(
+                scalar.advance(window), vector.advance(window)
+            )
+        elif op < 0.80:  # repack-style pull of a random subset
+            ids = [s.seq_id for s in scalar.sequences()]
+            if ids:
+                take = op_rng.choice(ids, size=min(len(ids), 5), replace=False)
+                pulled_s = scalar.remove_sequences([int(i) for i in take])
+                pulled_v = vector.remove_sequences([int(i) for i in take])
+                assert [s.seq_id for s in pulled_s] == [s.seq_id for s in pulled_v]
+                for s, v in zip(pulled_s, pulled_v):
+                    assert s.trajectory.generated_tokens == v.trajectory.generated_tokens
+                    assert s.tokens_done_in_turn == v.tokens_done_in_turn
+                    s.needs_reprefill = v.needs_reprefill = True
+                parked_scalar.extend(pulled_s)
+                parked_vector.extend(pulled_v)
+        elif op < 0.86:  # migrated work returns (same replica stands in for a peer)
+            if parked_scalar:
+                scalar.add_sequences(parked_scalar)
+                vector.add_sequences(parked_vector)
+                parked_scalar, parked_vector = [], []
+        elif op < 0.92:  # weight-pull / repack-overhead stall
+            duration = float(op_rng.uniform(0.1, 5.0))
+            busy = bool(op_rng.random() < 0.5)
+            scalar.inject_stall(duration, busy=busy)
+            vector.inject_stall(duration, busy=busy)
+        elif op < 0.96:  # trainer update: version bump (+ sometimes re-prefill storm)
+            version += 1
+            scalar.set_weight_version(version)
+            vector.set_weight_version(version)
+            if op_rng.random() < 0.5:
+                assert scalar.reprefill_all_inflight() == vector.reprefill_all_inflight()
+        else:  # fresh prompts land
+            add_batch(int(op_rng.integers(2, 10)))
+        assert_engines_identical(scalar, vector)
+
+    # Drain everything that is still in flight and compare the full epilogue.
+    if parked_scalar:
+        scalar.add_sequences(parked_scalar)
+        vector.add_sequences(parked_vector)
+    duration_s, done_s = scalar.run_to_completion()
+    duration_v, done_v = vector.run_to_completion()
+    assert duration_s == duration_v
+    assert_completions_identical(
+        sorted(done_s, key=lambda t: t.traj_id),
+        sorted(done_v, key=lambda t: t.traj_id),
+    )
+    assert_engines_identical(scalar, vector)
+
+
+def test_preemption_storm_is_bit_identical():
+    """A cache far too small for the workload: admission/preempt churn."""
+    def long_states():
+        states = []
+        for i in range(8):
+            prompt = Prompt(prompt_id=i, group_id=0, prompt_tokens=48)
+            trajectory = Trajectory(traj_id=i, prompt=prompt, target_tokens=400 + 60 * i)
+            states.append(SequenceState(
+                trajectory=trajectory,
+                schedule=TurnSchedule.single_turn(400 + 60 * i),
+            ))
+        return states
+
+    scalar, vector = make_engines(blocks=64, max_concurrency=32)
+    scalar.add_sequences(long_states())
+    vector.add_sequences(long_states())
+    while scalar.num_sequences or vector.num_sequences:
+        delta_s, delta_v = scalar.next_event_in(), vector.next_event_in()
+        assert delta_s == delta_v
+        if delta_s is None:
+            break
+        assert_completions_identical(scalar.advance(delta_s), vector.advance(delta_v))
+        assert_engines_identical(scalar, vector)
+    assert scalar.stats.preemptions > 0  # the scenario actually exercised churn
+
+
+# --------------------------------------------------------------------------- degenerate windows
+def degenerate_replica(engine_cls):
+    replica = engine_cls(
+        replica_id=0,
+        decode_model=DECODE_MODEL,
+        kvcache_config=KVCacheConfig(total_blocks=512),
+        max_concurrency=8,
+    )
+    # A healthy sequence plus one whose current segment is already exhausted
+    # (segment_remaining == 0, e.g. a corrupt migration): min_seg collapses to
+    # zero, so every advance window is degenerate and only the epsilon-slip
+    # fallback makes progress.
+    healthy = make_states(11, 1, 0, multi_turn=False)
+    prompt = Prompt(prompt_id=1, group_id=0, prompt_tokens=32)
+    trajectory = Trajectory(traj_id=1, prompt=prompt, target_tokens=40)
+    stuck = SequenceState(
+        trajectory=trajectory,
+        schedule=TurnSchedule.single_turn(40),
+        tokens_done_in_turn=40,
+    )
+    replica.add_sequences(healthy + [stuck])
+    return replica
+
+
+@pytest.mark.parametrize("engine_cls",
+                         [ReplicaGenerationState, ScalarReplicaGenerationState])
+def test_degenerate_window_charges_stats_bucket(engine_cls):
+    """The epsilon-slip fallback must not leak simulated time (regression).
+
+    Before the fix, each degenerate iteration advanced ``clock`` by ``_EPS``
+    without charging any stats bucket, so busy + idle + env-blocked drifted
+    below the clock.
+    """
+    replica = degenerate_replica(engine_cls)
+    target = 5e-9
+    replica.advance(target)
+    assert replica.clock >= target - 1.1e-9  # advance stops within _EPS of target
+    assert replica.clock > 0.0  # the fallback did make progress
+    stats = replica.stats
+    accounted = stats.decode_busy_time + stats.idle_time + stats.env_blocked_time
+    assert accounted == pytest.approx(replica.clock, abs=1e-15)
+
+
+def test_degenerate_window_engines_agree():
+    scalar = degenerate_replica(ScalarReplicaGenerationState)
+    vector = degenerate_replica(ReplicaGenerationState)
+    scalar.advance(5e-9)
+    vector.advance(5e-9)
+    assert_engines_identical(scalar, vector)
+
+
+# --------------------------------------------------------------------------- KVCache batch API
+def test_kvcache_batch_ops_match_scalar_loop():
+    from repro.sim import KVCache
+
+    rng = np.random.default_rng(3)
+    a = KVCache(KVCacheConfig(total_blocks=4096))
+    b = KVCache(KVCacheConfig(total_blocks=4096))
+    live = []
+    for seq_id in range(24):
+        tokens = int(rng.integers(1, 300))
+        if a.can_allocate(tokens):
+            a.allocate(seq_id, tokens)
+            b.allocate(seq_id, tokens)
+            live.append(seq_id)
+    for _ in range(40):
+        grow = rng.integers(0, 48, size=len(live)).astype(np.int64)
+        for seq_id, count in zip(live, grow):
+            try:
+                a.append_tokens(seq_id, int(count))
+            except Exception:
+                pytest.skip("workload overflowed the pool; resize the test")
+        b.append_tokens_many(live, grow)
+        assert a.used_blocks == b.used_blocks
+        assert a.peak_blocks == b.peak_blocks
+        for seq_id in live:
+            assert a.sequence_tokens(seq_id) == b.sequence_tokens(seq_id)
+        if len(live) > 4 and rng.random() < 0.3:
+            victims, live = live[-2:], live[:-2]
+            freed_a = sum(a.free(v) for v in victims)
+            freed_b = b.free_many(victims)
+            assert freed_a == freed_b
+
+
+def test_kvcache_rows_stay_valid_across_frees():
+    from repro.sim import KVCache
+
+    cache = KVCache(KVCacheConfig(total_blocks=64))
+    rows = {}
+    for seq_id in range(6):
+        rows[seq_id] = cache.allocate(seq_id, 20)
+    cache.free(2)
+    cache.allocate(99, 10)  # recycles a freed row, never steals a live one
+    for seq_id in (0, 1, 3, 4, 5):
+        assert cache.row_of(seq_id) == rows[seq_id]
+        assert int(cache.tokens_at(np.array([rows[seq_id]]))[0]) == 20
