@@ -9,11 +9,12 @@ from setuptools import find_packages, setup
 
 setup(
     name="laminar-repro",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of 'Laminar: A Scalable Asynchronous RL Post-Training "
         "Framework' — simulator, baselines, experiment drivers and the "
-        "repro-bench scenario matrix runner."
+        "repro-bench scenario matrix runner with distributed execution "
+        "backends (coordinator + worker fleet)."
     ),
     author="paper-repo-growth",
     license="MIT",

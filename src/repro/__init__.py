@@ -22,7 +22,7 @@ The package is organised as:
 from .config import SystemConfig, default_trainer_parallel
 from .types import Experience, Prompt, Trajectory, WeightVersion
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Benchmark API re-exported lazily (PEP 562) so that ``import repro`` does
 #: not pull in the full experiments stack.
@@ -38,6 +38,13 @@ _BENCH_EXPORTS = (
     "compare_runs",
     "save_artifact",
     "load_artifact",
+    # Execution backends (repro.bench.exec).
+    "Coordinator",
+    "QueueBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "make_backend",
+    "run_worker",
 )
 
 __all__ = [
@@ -55,8 +62,12 @@ __all__ = [
 
 def __getattr__(name):
     if name == "bench" or name in _BENCH_EXPORTS:
-        from . import bench
+        # NOT ``from . import bench``: its fromlist handling probes
+        # ``hasattr(repro, "bench")``, which re-enters this __getattr__ and
+        # recurses before the submodule import ever starts.
+        import importlib
 
+        bench = importlib.import_module(".bench", __name__)
         if name == "bench":
             return bench
         return getattr(bench, name)

@@ -4,6 +4,9 @@
   the canonical :data:`SCENARIOS` catalog.
 * :mod:`repro.bench.runner` — parallel matrix execution with per-unit seeds
   and timeouts, returning structured :class:`ScenarioResult`\\ s.
+* :mod:`repro.bench.exec` — pluggable execution backends: in-process serial,
+  local process pool, and the distributed queue backend (TCP coordinator +
+  ``repro-bench worker`` fleet with leases, heartbeats and requeue).
 * :mod:`repro.bench.store` — schema-versioned ``BENCH_<scenario>.json``
   artifact persistence with load/merge of prior runs.
 * :mod:`repro.bench.compare` — regression gating of a run against a stored
@@ -19,6 +22,16 @@ from .compare import (
     ComparisonReport,
     UnitVerdict,
     compare_runs,
+)
+from .exec import (
+    BACKENDS,
+    Coordinator,
+    ExecBackend,
+    ProcessPoolBackend,
+    QueueBackend,
+    SerialBackend,
+    make_backend,
+    run_worker,
 )
 from .registry import (
     KINDS,
@@ -53,10 +66,18 @@ from .store import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "Coordinator",
     "DEFAULT_TOLERANCE",
     "ComparisonReport",
+    "ExecBackend",
+    "ProcessPoolBackend",
+    "QueueBackend",
+    "SerialBackend",
     "UnitVerdict",
     "compare_runs",
+    "make_backend",
+    "run_worker",
     "KINDS",
     "SCENARIOS",
     "ScenarioConfig",

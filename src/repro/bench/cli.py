@@ -8,6 +8,17 @@ Workflow::
     repro-bench run --scenario smoke --profile 20   # per-unit cProfile hot paths
     repro-bench compare --baseline BENCH_smoke.json # re-run + gate against an artifact
     repro-bench trend                               # sparkline history of BENCH_*.json
+    repro-bench trend --bisect SCENARIO METRIC      # map the largest metric step
+                                                    # to its commit range
+
+Distributed runs (any machine with the repo installed can serve units)::
+
+    repro-bench serve --bind 0.0.0.0:7781           # standalone coordinator
+    repro-bench worker --connect HOST:7781 --jobs 4 # worker agent(s)
+    repro-bench run --scenario smoke --backend queue --connect HOST:7781
+
+    # or let `run` embed the coordinator and attach workers to it:
+    repro-bench run --scenario smoke --backend queue --bind 0.0.0.0:7781
 
 ``run`` persists results to ``BENCH_<scenario>.json`` artifacts (or a single
 ``--export`` file) and, with ``--compare``, gates the fresh results against
@@ -25,6 +36,15 @@ import time
 from typing import Dict, List, Optional, Sequence
 
 from .compare import DEFAULT_TOLERANCE, compare_runs
+from .exec import (
+    BACKENDS,
+    DEFAULT_PORT as _DEFAULT_PORT,
+    Coordinator,
+    QueueBackend,
+    make_backend,
+    parse_hostport,
+    run_worker,
+)
 from .registry import ScenarioConfig, all_scenarios, get_scenario, select_scenarios
 from .report import render_comparison, render_results, render_scenario_list
 from .runner import ScenarioResult, UnitResult, run_scenarios
@@ -58,6 +78,16 @@ def build_parser() -> argparse.ArgumentParser:
                               "default: 'smoke')")
     run_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
                          help="parallel worker processes (default: 1)")
+    run_cmd.add_argument("--backend", choices=BACKENDS, default=None,
+                         help="execution backend (default: serial for --jobs 1, "
+                              "process otherwise); 'queue' distributes units to "
+                              "repro-bench worker agents")
+    run_cmd.add_argument("--bind", metavar="HOST:PORT", default=None,
+                         help="with --backend queue: embed a coordinator bound "
+                              f"here (default: 127.0.0.1:{_DEFAULT_PORT})")
+    run_cmd.add_argument("--connect", metavar="HOST:PORT", default=None,
+                         help="with --backend queue: submit to an already-running "
+                              "`repro-bench serve` coordinator instead")
     run_cmd.add_argument("--export", metavar="PATH",
                          help="write all results into one artifact at PATH "
                               "(default: one BENCH_<scenario>.json per scenario)")
@@ -111,6 +141,44 @@ def build_parser() -> argparse.ArgumentParser:
     trend_cmd.add_argument("--max-revisions", type=int, default=50, metavar="N",
                            help="cap on historical versions per artifact "
                                 "(default: 50)")
+    trend_cmd.add_argument("--bisect", nargs=2, metavar=("SCENARIO", "METRIC"),
+                           default=None,
+                           help="report the largest run-to-run step of METRIC in "
+                                "SCENARIO and the commit range that produced it "
+                                "(METRIC may be 'elapsed_s' or any unit metric)")
+
+    serve_cmd = sub.add_parser(
+        "serve", help="standalone coordinator: accepts repro-bench workers and "
+                      "remote `run --backend queue --connect` drivers")
+    serve_cmd.add_argument("--bind", metavar="HOST:PORT",
+                           default=f"127.0.0.1:{_DEFAULT_PORT}",
+                           help=f"listen address (default: 127.0.0.1:{_DEFAULT_PORT})")
+    serve_cmd.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                           help="lease grants per unit before giving up on it "
+                                "(default: 3)")
+    serve_cmd.add_argument("--heartbeat", type=float, default=2.0, metavar="SECONDS",
+                           help="worker heartbeat interval (default: 2)")
+    serve_cmd.add_argument("--lease-grace", type=float, default=30.0,
+                           metavar="SECONDS",
+                           help="slack past a unit's budget before its lease is "
+                                "requeued (default: 30)")
+
+    worker_cmd = sub.add_parser(
+        "worker", help="worker agent: leases units from a coordinator and "
+                       "executes them in a local sub-pool")
+    worker_cmd.add_argument("--connect", required=True, metavar="HOST:PORT",
+                            help="coordinator address")
+    worker_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="local sub-pool size / concurrent leases "
+                                 "(default: 1)")
+    worker_cmd.add_argument("--connect-timeout", type=float, default=30.0,
+                            metavar="SECONDS",
+                            help="keep retrying the initial connection this long "
+                                 "(workers may start before the coordinator; "
+                                 "default: 30)")
+    worker_cmd.add_argument("--max-units", type=int, default=None, metavar="N",
+                            help="exit after executing N units (chaos drills "
+                                 "and tests)")
     return parser
 
 
@@ -146,6 +214,34 @@ def cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_backend(args: argparse.Namespace):
+    """Resolve --backend/--bind/--connect into (backend, owned coordinator)."""
+    if args.backend is None:
+        if args.bind or args.connect:
+            raise ValueError("--bind/--connect require --backend queue")
+        return None, None  # run_scenarios derives serial/process from --jobs
+    if args.backend != "queue":
+        if args.bind or args.connect:
+            raise ValueError("--bind/--connect require --backend queue")
+        return make_backend(args.backend, jobs=args.jobs,
+                            profile_top=args.profile), None
+    if args.connect:
+        if args.bind:
+            raise ValueError("--bind and --connect are mutually exclusive")
+        return make_backend("queue", connect=args.connect,
+                            log=lambda m: print(f"  [queue] {m}", flush=True)), None
+    # Embedded coordinator: start it before the run so the attach address is
+    # printed while workers can still join.
+    host, port = parse_hostport(args.bind or f"127.0.0.1:{_DEFAULT_PORT}")
+    coordinator = Coordinator(
+        host=host, port=port, log=lambda m: print(f"  [queue] {m}", flush=True)
+    ).start()
+    host, port = coordinator.address
+    print(f"embedded coordinator on {host}:{port}; attach workers with: "
+          f"repro-bench worker --connect {host}:{port}", flush=True)
+    return QueueBackend(coordinator=coordinator), coordinator
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     if args.tolerance < 0:
         raise ValueError("--tolerance must be non-negative")
@@ -156,6 +252,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"running {len(scenarios)} scenario(s): "
           + ", ".join(s.id for s in scenarios), flush=True)
     if args.profile is not None:
+        if args.backend not in (None, "serial"):
+            raise ValueError("--profile requires the serial backend")
         if args.jobs > 1:
             print("note: --profile collects in-process; running with --jobs 1",
                   flush=True)
@@ -178,11 +276,18 @@ def cmd_run(args: argparse.Namespace) -> int:
             print("note: no baseline artifact found; all units will report "
                   "'no-baseline'", flush=True)
 
+    backend, coordinator = _run_backend(args)
     run_started = time.perf_counter()
-    results = run_scenarios(
-        scenarios, jobs=args.jobs, timeout_s=args.timeout, progress=_progress,
-        profile_top=args.profile,
-    )
+    try:
+        results = run_scenarios(
+            scenarios, jobs=args.jobs, timeout_s=args.timeout, progress=_progress,
+            # An explicit backend already embeds the profile setting.
+            profile_top=args.profile if backend is None else None,
+            backend=backend,
+        )
+    finally:
+        if coordinator is not None:
+            coordinator.close()
     run_elapsed = time.perf_counter() - run_started
     print()
     print(render_results(results))
@@ -262,7 +367,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_trend(args: argparse.Namespace) -> int:
-    from .trend import collect_history, render_trend
+    from .trend import collect_history, commits_between, largest_step, render_bisect, render_trend
 
     paths = args.artifacts or sorted(glob.glob("BENCH_*.json"))
     if not paths:
@@ -279,14 +384,69 @@ def cmd_trend(args: argparse.Namespace) -> int:
         for snapshot in snapshots:
             snapshot.results = [r for r in snapshot.results if r.scenario_id in keep]
         snapshots = [s for s in snapshots if s.results]
+    if args.bisect:
+        from .trend import metric_series
+
+        scenario_id, metric = args.bisect
+        step = largest_step(snapshots, scenario_id, metric)
+        if step is None:
+            # A flat, fully-observed history has no step to bisect — that is
+            # a healthy outcome, not missing data.
+            observations = max(
+                (sum(v is not None for v in values)
+                 for values in metric_series(snapshots, scenario_id, metric).values()),
+                default=0,
+            )
+            if observations >= 2:
+                print(f"bisect: {metric} is flat across {observations} run(s) "
+                      f"of {scenario_id}; no step to report")
+                return 0
+            print(render_bisect(None, []))
+            return 1
+        commits = (
+            commits_between(step.from_rev, step.to_rev)
+            if step.from_rev != step.to_rev else []
+        )
+        print(render_bisect(step, commits))
+        return 0
     print(render_trend(snapshots))
     return 0 if snapshots else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    host, port = parse_hostport(args.bind)
+    coordinator = Coordinator(
+        host=host, port=port, max_attempts=args.max_attempts,
+        heartbeat_s=args.heartbeat, lease_grace_s=args.lease_grace,
+        log=lambda message: print(message, flush=True),
+    ).start()
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("\nshutting down", flush=True)
+        return 0
+    finally:
+        coordinator.close()
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    if args.jobs <= 0:
+        raise ValueError("--jobs must be positive")
+    if args.max_units is not None and args.max_units <= 0:
+        raise ValueError("--max-units must be positive")
+    host, port = parse_hostport(args.connect)
+    return run_worker(
+        host, port, jobs=args.jobs, connect_timeout_s=args.connect_timeout,
+        log=lambda message: print(message, flush=True),
+        max_units=args.max_units,
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run, "compare": cmd_compare,
-                "trend": cmd_trend}
+                "trend": cmd_trend, "serve": cmd_serve, "worker": cmd_worker}
     try:
         return handlers[args.command](args)
     except BrokenPipeError:  # e.g. `repro-bench list | head`

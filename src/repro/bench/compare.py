@@ -25,9 +25,11 @@ VERDICT_REGRESSION = "regression"
 VERDICT_NEW = "no-baseline"
 VERDICT_MISSING = "missing-in-candidate"
 VERDICT_ERROR = "unit-error"
+VERDICT_TIMEOUT = "unit-timeout"
 
 #: Verdicts that fail the gate.
-FAILING_VERDICTS = (VERDICT_REGRESSION, VERDICT_MISSING, VERDICT_ERROR)
+FAILING_VERDICTS = (VERDICT_REGRESSION, VERDICT_MISSING, VERDICT_ERROR,
+                    VERDICT_TIMEOUT)
 
 
 @dataclass
@@ -121,7 +123,11 @@ def judge_unit(
         verdict.note = "unit present in baseline but absent from the candidate run"
         return verdict
     if candidate.status != "ok":
-        verdict.verdict = VERDICT_ERROR
+        # Over-budget units get their own verdict so a wedged grid point is
+        # distinguishable from a crashed one in the gate report.
+        verdict.verdict = (
+            VERDICT_TIMEOUT if candidate.status == "timeout" else VERDICT_ERROR
+        )
         verdict.note = f"candidate unit status: {candidate.status}"
         return verdict
     verdict.candidate = candidate.metrics.get(metric)

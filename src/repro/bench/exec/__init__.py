@@ -1,0 +1,108 @@
+"""Pluggable execution backends for the scenario matrix.
+
+* :mod:`repro.bench.exec.base` — the :class:`ExecBackend` protocol plus the
+  single-host backends (:class:`SerialBackend`, :class:`ProcessPoolBackend`).
+* :mod:`repro.bench.exec.wire` — length-prefixed JSON framing and the
+  unit/result codecs shared by every networked peer.
+* :mod:`repro.bench.exec.coordinator` — the TCP :class:`Coordinator`
+  (leases, heartbeats, requeue-on-death, retry budgets) and the
+  :class:`QueueBackend` that drives it, embedded or remote.
+* :mod:`repro.bench.exec.worker` — the ``repro-bench worker`` agent loop.
+
+:func:`make_backend` maps the CLI surface (``--backend`` + ``--jobs`` +
+``--bind``/``--connect``) onto a concrete backend instance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .base import ExecBackend, ProcessPoolBackend, SerialBackend, effective_timeout, failed_result
+from .coordinator import (
+    DEFAULT_HEARTBEAT_S,
+    DEFAULT_LEASE_GRACE_S,
+    DEFAULT_MAX_ATTEMPTS,
+    DEFAULT_PORT,
+    Coordinator,
+    QueueBackend,
+    parse_hostport,
+)
+from .wire import (
+    MAX_FRAME_BYTES,
+    WIRE_VERSION,
+    WireError,
+    recv_message,
+    result_from_wire,
+    result_to_wire,
+    send_message,
+    unit_from_wire,
+    unit_to_wire,
+)
+from .worker import connect_with_retry, run_worker
+
+#: Names accepted by ``repro-bench run --backend``.
+BACKENDS = ("serial", "process", "queue")
+
+
+def make_backend(
+    name: str,
+    jobs: int = 1,
+    profile_top: Optional[int] = None,
+    bind: Optional[str] = None,
+    connect: Optional[str] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> ExecBackend:
+    """Build the backend the CLI flags describe.
+
+    ``serial`` ignores ``jobs``; ``process`` is the historical local pool;
+    ``queue`` embeds a coordinator at ``bind`` unless ``connect`` points at
+    a standalone one.  ``profile_top`` is only meaningful serially (the CLI
+    forces the serial backend for profiled runs).
+    """
+    if name == "serial":
+        return SerialBackend(profile_top=profile_top)
+    if profile_top is not None:
+        raise ValueError("--profile requires the serial backend")
+    if name == "process":
+        return ProcessPoolBackend(jobs=jobs)
+    if name == "queue":
+        return QueueBackend(bind=bind, connect=connect, log=log)
+    raise ValueError(f"unknown backend {name!r}; known: {', '.join(BACKENDS)}")
+
+
+def default_backend(jobs: int = 1, profile_top: Optional[int] = None) -> ExecBackend:
+    """The backend `run_scenarios` historically implied: serial for one job
+    (or any profiled run), the local process pool otherwise."""
+    if profile_top is not None or jobs == 1:
+        return SerialBackend(profile_top=profile_top)
+    return ProcessPoolBackend(jobs=jobs)
+
+
+__all__ = [
+    "BACKENDS",
+    "Coordinator",
+    "DEFAULT_HEARTBEAT_S",
+    "DEFAULT_LEASE_GRACE_S",
+    "DEFAULT_MAX_ATTEMPTS",
+    "DEFAULT_PORT",
+    "ExecBackend",
+    "MAX_FRAME_BYTES",
+    "ProcessPoolBackend",
+    "QueueBackend",
+    "SerialBackend",
+    "WIRE_VERSION",
+    "WireError",
+    "connect_with_retry",
+    "default_backend",
+    "effective_timeout",
+    "failed_result",
+    "make_backend",
+    "parse_hostport",
+    "recv_message",
+    "result_from_wire",
+    "result_to_wire",
+    "run_worker",
+    "send_message",
+    "unit_from_wire",
+    "unit_to_wire",
+]

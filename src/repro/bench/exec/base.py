@@ -1,0 +1,149 @@
+"""Execution backends: where scenario units actually run.
+
+:class:`ExecBackend` is the small contract the matrix runner drives —
+``submit(units) -> iterator of (unit, UnitResult)`` — so the same
+:func:`repro.bench.runner.run_scenarios` front end can execute a grid
+in-process (:class:`SerialBackend`), on a local process pool
+(:class:`ProcessPoolBackend`) or across a worker fleet leased from a TCP
+coordinator (:class:`repro.bench.exec.coordinator.QueueBackend`).
+
+The determinism contract spans backends: every unit derives its seed from
+its grid index, so for a fixed scenario the merged results are bit-identical
+no matter which backend ran them or in what order they completed.  Backends
+may yield results in any order; the runner regroups them per scenario.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, CancelledError, ProcessPoolExecutor, wait
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from ..registry import ScenarioUnit
+from ..runner import UnitResult, execute_unit, execute_unit_profiled
+
+try:  # pragma: no cover - Protocol is 3.8+; the repo supports >=3.9
+    from typing import Protocol
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+
+class ExecBackend(Protocol):
+    """Contract every execution backend implements."""
+
+    #: Whether units may execute concurrently (the runner uses this to keep
+    #: per-scenario elapsed_s semantics identical to the historical runner).
+    concurrent: bool
+
+    def submit(
+        self, units: Iterable[ScenarioUnit], timeout_s: Optional[float] = None
+    ) -> Iterator[Tuple[ScenarioUnit, UnitResult]]:
+        """Execute every unit and yield ``(unit, result)`` pairs as they
+        complete.  ``timeout_s`` overrides each unit's own budget."""
+        ...  # pragma: no cover - protocol stub
+
+
+def effective_timeout(unit: ScenarioUnit, timeout_s: Optional[float]) -> float:
+    """The per-unit budget: the run-level override, else the unit's own."""
+    return timeout_s if timeout_s is not None else unit.timeout_s
+
+
+def failed_result(unit: ScenarioUnit, status: str, error: str) -> UnitResult:
+    """A synthesised non-ok result for a unit the backend could not finish."""
+    return UnitResult(
+        scenario_id=unit.scenario_id, system=unit.system,
+        model_size=unit.model_size, total_gpus=unit.total_gpus,
+        variant=unit.variant, seed=unit.seed, status=status, error=error,
+    )
+
+
+class SerialBackend:
+    """In-process, in-order execution (optionally under cProfile)."""
+
+    concurrent = False
+
+    def __init__(self, profile_top: Optional[int] = None) -> None:
+        if profile_top is not None and profile_top <= 0:
+            raise ValueError("profile_top must be positive")
+        self.profile_top = profile_top
+
+    def submit(
+        self, units: Iterable[ScenarioUnit], timeout_s: Optional[float] = None
+    ) -> Iterator[Tuple[ScenarioUnit, UnitResult]]:
+        for unit in units:
+            budget = effective_timeout(unit, timeout_s)
+            if self.profile_top is not None:
+                yield unit, execute_unit_profiled(unit, budget, top=self.profile_top)
+            else:
+                yield unit, execute_unit(unit, budget)
+
+
+class ProcessPoolBackend:
+    """Local ``ProcessPoolExecutor`` fan-out (the historical ``--jobs N``).
+
+    The budget proper is enforced worker-side (``SIGALRM`` in
+    :func:`execute_unit`, where the clock starts when the unit actually
+    runs); the parent keeps a generous per-future backstop for workers that
+    die or hang outright — deliberately loose, because the executor flags
+    futures as "running" while they are still queued behind other units.
+    """
+
+    concurrent = True
+
+    def __init__(self, jobs: int) -> None:
+        if jobs <= 0:
+            raise ValueError("jobs must be positive")
+        self.jobs = jobs
+
+    def submit(
+        self, units: Iterable[ScenarioUnit], timeout_s: Optional[float] = None
+    ) -> Iterator[Tuple[ScenarioUnit, UnitResult]]:
+        all_units: List[ScenarioUnit] = list(units)
+        # No ``with`` block: a timed-out unit's worker is abandoned, and the
+        # context manager's shutdown(wait=True) would block on it anyway.
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        pending = {}
+        abandoned = False
+        for unit in all_units:
+            budget = effective_timeout(unit, timeout_s)
+            pending[pool.submit(execute_unit, unit, budget)] = [
+                unit, None, 2.0 * budget + 120.0,
+            ]
+        try:
+            while pending:
+                done, _ = wait(pending, timeout=1.0, return_when=FIRST_COMPLETED)
+                now = time.perf_counter()
+                for future in done:
+                    unit, _started, _backstop = pending.pop(future)
+                    try:
+                        yield unit, future.result()
+                    except (Exception, CancelledError):
+                        yield unit, failed_result(
+                            unit, "failed", traceback.format_exc(limit=8)
+                        )
+                for future, entry in list(pending.items()):
+                    unit, started, backstop = entry
+                    if started is None:
+                        if future.running():
+                            entry[1] = now
+                        continue
+                    if now - started <= backstop:
+                        continue
+                    # The worker missed even its SIGALRM budget: abandon it.
+                    future.cancel()
+                    abandoned = True
+                    pending.pop(future)
+                    yield unit, failed_result(
+                        unit, "timeout",
+                        f"unit exceeded the {backstop:.0f}s parent backstop",
+                    )
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+            if abandoned:
+                # Every tracked unit has a result by now, so any process still
+                # executing is a wedged worker that ignored its SIGALRM; kill
+                # it or the interpreter's atexit hook would join it forever.
+                for process in list(getattr(pool, "_processes", {}).values()):
+                    if process.is_alive():
+                        process.terminate()

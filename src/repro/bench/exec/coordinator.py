@@ -1,0 +1,571 @@
+"""TCP coordinator that leases scenario units to a worker fleet.
+
+The coordinator owns the unit queue.  Workers (``repro-bench worker``)
+connect, request leases, execute units in their local sub-pools and stream
+results back; drivers (``repro-bench run --backend queue --connect`` or a
+remote ``QueueBackend``) connect to submit unit batches and receive the
+merged results.  All traffic uses the length-prefixed JSON frames of
+:mod:`repro.bench.exec.wire`.
+
+Fault model
+-----------
+
+* **Worker death** (connection drop, missed heartbeats): every lease the
+  worker held is requeued at the front of the queue.
+* **Lease expiry**: a lease that outlives its unit budget plus grace is
+  requeued even if the worker still heartbeats (a wedged unit that ignored
+  its worker-side ``SIGALRM``).
+* **Retry budget**: each unit is granted at most ``max_attempts`` leases;
+  past that, a synthetic non-ok :class:`UnitResult` is recorded so a
+  poisonous unit cannot starve the run.
+* **Duplicate delivery**: results are recorded idempotently per unit index
+  — the first delivery wins, stale or duplicate deliveries are dropped.
+  Units are deterministic (seed = f(grid index)), so re-executions produce
+  bit-identical payloads and the merge order cannot change the outcome.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..registry import ScenarioUnit
+from ..runner import UnitResult
+from .base import effective_timeout, failed_result
+from .wire import (
+    WIRE_VERSION,
+    WireError,
+    recv_message,
+    result_from_wire,
+    result_to_wire,
+    send_message,
+    unit_from_wire,
+    unit_to_wire,
+)
+
+#: Default coordinator port (``repro-bench serve`` / ``--backend queue``).
+DEFAULT_PORT = 7781
+#: Interval at which workers are asked to heartbeat.
+DEFAULT_HEARTBEAT_S = 2.0
+#: Extra slack on top of a unit's budget before its lease is presumed lost.
+DEFAULT_LEASE_GRACE_S = 30.0
+#: Leases granted per unit before the coordinator gives up on it.
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+class _Batch:
+    """One submitted unit list and its (idempotent) result ledger."""
+
+    def __init__(self, units: List[ScenarioUnit], timeout_s: Optional[float],
+                 batch_id: int) -> None:
+        self.batch_id = batch_id
+        self.units = units
+        self.timeout_s = timeout_s
+        self.attempts = [0] * len(units)
+        self.results: Dict[int, UnitResult] = {}
+        self.out: "queue.Queue[Optional[Tuple[int, UnitResult]]]" = queue.Queue()
+        self.remaining = len(units)
+        self.aborted = False
+
+
+class _Worker:
+    """Coordinator-side view of one connected worker."""
+
+    def __init__(self, worker_id: int, sock: socket.socket, jobs: int,
+                 addr: Tuple[str, int]) -> None:
+        self.worker_id = worker_id
+        self.sock = sock
+        self.jobs = jobs
+        self.addr = addr
+        self.last_seen = time.monotonic()
+        self.lease_ids: set = set()
+
+
+class _Lease:
+    def __init__(self, lease_id: int, batch: _Batch, index: int,
+                 worker_id: int, deadline: float) -> None:
+        self.lease_id = lease_id
+        self.batch = batch
+        self.index = index
+        self.worker_id = worker_id
+        self.deadline = deadline
+
+
+class Coordinator:
+    """Threaded TCP server distributing scenario units to workers.
+
+    Use either embedded (``QueueBackend`` starts one inside the driving
+    process) or standalone (``repro-bench serve``), where remote drivers
+    submit batches over the same socket protocol.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        worker_timeout_s: Optional[float] = None,
+        lease_grace_s: float = DEFAULT_LEASE_GRACE_S,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if max_attempts <= 0:
+            raise ValueError("max_attempts must be positive")
+        if heartbeat_s <= 0 or lease_grace_s < 0:
+            raise ValueError("heartbeat_s must be positive and lease_grace_s >= 0")
+        self.max_attempts = max_attempts
+        self.heartbeat_s = heartbeat_s
+        self.worker_timeout_s = (
+            worker_timeout_s if worker_timeout_s is not None else 5.0 * heartbeat_s
+        )
+        self.lease_grace_s = lease_grace_s
+        self._log = log or (lambda message: None)
+        self._listen = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listen.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listen.bind((host, port))
+        self._listen.listen(64)
+        self._lock = threading.Lock()
+        self._pending: deque = deque()  # of (_Batch, index)
+        self._leases: Dict[int, _Lease] = {}
+        self._workers: Dict[int, _Worker] = {}
+        self._next_id = 0
+        self._stopping = False
+        self._threads: List[threading.Thread] = []
+        self._started = False
+
+    # ------------------------------------------------------------------ lifecycle
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (port is concrete even when bound to 0)."""
+        return self._listen.getsockname()[:2]
+
+    def start(self) -> "Coordinator":
+        if self._started:
+            return self
+        self._started = True
+        for target in (self._accept_loop, self._monitor_loop):
+            thread = threading.Thread(target=target, daemon=True,
+                                      name=f"repro-bench-{target.__name__}")
+            thread.start()
+            self._threads.append(thread)
+        host, port = self.address
+        self._log(f"coordinator listening on {host}:{port}")
+        return self
+
+    def close(self) -> None:
+        """Stop accepting, shut down workers, release every connection."""
+        with self._lock:
+            if self._stopping:
+                return
+            self._stopping = True
+            workers = list(self._workers.values())
+        try:
+            self._listen.close()
+        except OSError:
+            pass
+        for worker in workers:
+            try:
+                worker.sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "Coordinator":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ submission
+    def submit_units(
+        self, units: Iterable[ScenarioUnit], timeout_s: Optional[float] = None
+    ) -> Iterator[Tuple[int, UnitResult]]:
+        """Queue units for the fleet; yield ``(index, result)`` as they land."""
+        batch_units = list(units)
+        with self._lock:
+            if self._stopping:
+                raise RuntimeError("coordinator is closed")
+            self._next_id += 1
+            batch = _Batch(batch_units, timeout_s, self._next_id)
+            self._pending.extend((batch, index) for index in range(len(batch_units)))
+        if not batch_units:
+            return
+        waited_s = 0.0
+        warn_at_s = 10.0
+        try:
+            while True:
+                try:
+                    item = batch.out.get(timeout=0.5)
+                except queue.Empty:
+                    # A batch with no fleet waits forever; say so instead of
+                    # hanging silently (a worker that failed at startup is
+                    # indistinguishable from a slow unit otherwise).
+                    waited_s += 0.5
+                    if waited_s >= warn_at_s and self.worker_count() == 0:
+                        host, port = self.address
+                        self._log(
+                            f"no workers connected after {waited_s:.0f}s; "
+                            f"attach with: repro-bench worker --connect "
+                            f"{host}:{port}"
+                        )
+                        warn_at_s += 30.0
+                    continue
+                waited_s = 0.0
+                warn_at_s = 10.0
+                if item is None:
+                    return
+                yield item
+        finally:
+            self._abort_batch(batch)
+
+    def _abort_batch(self, batch: _Batch) -> None:
+        with self._lock:
+            batch.aborted = True
+            self._pending = deque(
+                entry for entry in self._pending if entry[0] is not batch
+            )
+
+    # ------------------------------------------------------------------ ledger
+    def _record(self, batch: _Batch, index: int, result: UnitResult) -> bool:
+        """Idempotently record one unit result; returns False on duplicates."""
+        with self._lock:
+            if batch.aborted or index in batch.results:
+                return False
+            batch.results[index] = result
+            batch.remaining -= 1
+            done = batch.remaining == 0
+        batch.out.put((index, result))
+        if done:
+            batch.out.put(None)
+        return True
+
+    def _grant(self, worker: _Worker) -> Dict[str, object]:
+        """Build the reply to one lease request."""
+        with self._lock:
+            if self._stopping:
+                return {"type": "shutdown"}
+            while self._pending:
+                batch, index = self._pending.popleft()
+                if batch.aborted or index in batch.results:
+                    continue
+                batch.attempts[index] += 1
+                unit = batch.units[index]
+                budget = effective_timeout(unit, batch.timeout_s)
+                self._next_id += 1
+                lease = _Lease(
+                    lease_id=self._next_id, batch=batch, index=index,
+                    worker_id=worker.worker_id,
+                    deadline=time.monotonic() + budget + self.lease_grace_s,
+                )
+                self._leases[lease.lease_id] = lease
+                worker.lease_ids.add(lease.lease_id)
+                return {
+                    "type": "unit",
+                    "lease_id": lease.lease_id,
+                    "timeout_s": budget,
+                    "attempt": batch.attempts[index],
+                    "unit": unit_to_wire(unit),
+                }
+            return {"type": "idle", "backoff_s": min(0.5, self.heartbeat_s / 2.0)}
+
+    def _requeue(self, lease: _Lease, status: str, reason: str) -> None:
+        """Return a lost lease's unit to the queue (or exhaust its budget)."""
+        with self._lock:
+            if self._leases.pop(lease.lease_id, None) is None:
+                return  # already resolved (result landed or double requeue)
+            worker = self._workers.get(lease.worker_id)
+            if worker is not None:
+                worker.lease_ids.discard(lease.lease_id)
+            batch, index = lease.batch, lease.index
+            if batch.aborted or index in batch.results:
+                return
+            exhausted = batch.attempts[index] >= self.max_attempts
+            if not exhausted:
+                self._pending.appendleft((batch, index))
+        unit = batch.units[index]
+        if exhausted:
+            self._record(batch, index, failed_result(
+                unit, status,
+                f"{reason}; retry budget exhausted after "
+                f"{batch.attempts[index]} attempt(s)",
+            ))
+            self._log(f"unit {unit.label} gave up: {reason}")
+        else:
+            self._log(f"unit {unit.label} requeued: {reason}")
+
+    # ------------------------------------------------------------------ server loops
+    def _accept_loop(self) -> None:
+        while not self._stopping:
+            try:
+                sock, addr = self._listen.accept()
+            except OSError:
+                return  # listener closed
+            # Connection threads are daemons and never joined — don't retain
+            # them, or a long-lived `serve` leaks one Thread per connection.
+            threading.Thread(
+                target=self._serve_connection, args=(sock, addr), daemon=True,
+                name="repro-bench-conn",
+            ).start()
+
+    def _monitor_loop(self) -> None:
+        while not self._stopping:
+            time.sleep(min(0.25, self.heartbeat_s / 4.0))
+            now = time.monotonic()
+            with self._lock:
+                silent = [
+                    worker for worker in self._workers.values()
+                    if now - worker.last_seen > self.worker_timeout_s
+                ]
+                expired = [
+                    lease for lease in self._leases.values() if now > lease.deadline
+                ]
+            for worker in silent:
+                self._drop_worker(worker, "missed heartbeats")
+            for lease in expired:
+                self._requeue(
+                    lease, "timeout",
+                    f"lease {lease.lease_id} expired on worker {lease.worker_id}",
+                )
+
+    def _serve_connection(self, sock: socket.socket, addr: Tuple[str, int]) -> None:
+        try:
+            sock.settimeout(max(10.0, 2.0 * self.worker_timeout_s))
+            hello = recv_message(sock)
+            if hello.get("type") != "hello" or hello.get("wire_version") != WIRE_VERSION:
+                send_message(sock, {
+                    "type": "error",
+                    "message": f"incompatible hello (wire version {WIRE_VERSION} "
+                               f"required)",
+                })
+                sock.close()
+                return
+            role = hello.get("role")
+            if role == "worker":
+                self._serve_worker(sock, addr, int(hello.get("jobs", 1)))
+            elif role == "driver":
+                self._serve_driver(sock)
+            else:
+                send_message(sock, {"type": "error",
+                                    "message": f"unknown role {role!r}"})
+                sock.close()
+        except (WireError, OSError):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------ worker handling
+    def _serve_worker(self, sock: socket.socket, addr: Tuple[str, int],
+                      jobs: int) -> None:
+        with self._lock:
+            self._next_id += 1
+            worker = _Worker(self._next_id, sock, jobs, addr)
+            self._workers[worker.worker_id] = worker
+        send_message(sock, {
+            "type": "welcome",
+            "worker_id": worker.worker_id,
+            "heartbeat_s": self.heartbeat_s,
+        })
+        self._log(f"worker {worker.worker_id} joined from {addr[0]}:{addr[1]} "
+                  f"(jobs={jobs})")
+        try:
+            while True:
+                message = recv_message(sock)
+                worker.last_seen = time.monotonic()
+                kind = message.get("type")
+                if kind == "lease":
+                    send_message(sock, self._grant(worker))
+                elif kind == "result":
+                    self._handle_result(worker, message)
+                elif kind == "heartbeat":
+                    pass  # last_seen already refreshed
+                elif kind == "goodbye":
+                    break
+        except (WireError, OSError):
+            pass
+        finally:
+            self._drop_worker(worker, "connection closed")
+
+    def _handle_result(self, worker: _Worker, message: Dict[str, object]) -> None:
+        lease_id = int(message.get("lease_id", -1))
+        with self._lock:
+            lease = self._leases.pop(lease_id, None)
+            if lease is not None:
+                worker.lease_ids.discard(lease_id)
+        if lease is None:
+            self._log(f"dropping stale result for lease {lease_id} "
+                      f"from worker {worker.worker_id}")
+            return  # expired/requeued lease: the fresh execution wins
+        try:
+            result = result_from_wire(message["result"])
+        except (KeyError, TypeError, ValueError) as exc:
+            self._requeue(lease, "failed", f"undecodable result ({exc})")
+            return
+        self._record(lease.batch, lease.index, result)
+
+    def _drop_worker(self, worker: _Worker, reason: str) -> None:
+        with self._lock:
+            if self._workers.pop(worker.worker_id, None) is None:
+                return
+            leases = [self._leases[lease_id] for lease_id in worker.lease_ids
+                      if lease_id in self._leases]
+        if leases:
+            self._log(f"worker {worker.worker_id} lost ({reason}); "
+                      f"requeueing {len(leases)} lease(s)")
+        else:
+            self._log(f"worker {worker.worker_id} left ({reason})")
+        for lease in leases:
+            self._requeue(lease, "failed",
+                          f"worker {worker.worker_id} died ({reason})")
+        try:
+            worker.sock.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ driver handling
+    def _serve_driver(self, sock: socket.socket) -> None:
+        send_message(sock, {"type": "welcome"})
+        try:
+            while True:
+                message = recv_message(sock)
+                if message.get("type") != "submit":
+                    continue
+                units = [unit_from_wire(u) for u in message.get("units", [])]
+                timeout_s = message.get("timeout_s")
+                timeout_s = float(timeout_s) if timeout_s is not None else None
+                self._log(f"driver submitted {len(units)} unit(s)")
+                for index, result in self.submit_units(units, timeout_s):
+                    send_message(sock, {
+                        "type": "result", "index": index,
+                        "result": result_to_wire(result),
+                    })
+                send_message(sock, {"type": "done"})
+        except (WireError, OSError):
+            pass  # driver went away; submit_units' finally aborts the batch
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------ introspection
+    def worker_count(self) -> int:
+        with self._lock:
+            return len(self._workers)
+
+
+class QueueBackend:
+    """Distributed execution behind the :class:`ExecBackend` protocol.
+
+    Two modes:
+
+    * ``connect="host:port"`` — submit the units to an already-running
+      standalone coordinator (``repro-bench serve``) as a remote driver.
+    * otherwise — start an **embedded** coordinator bound to ``bind``
+      (default ``127.0.0.1:0``) inside this process; workers point
+      ``repro-bench worker --connect`` at it.  The coordinator shuts the
+      fleet down when the run completes (workers exit on ``shutdown``).
+    """
+
+    concurrent = True
+
+    def __init__(
+        self,
+        bind: Optional[str] = None,
+        connect: Optional[str] = None,
+        coordinator: Optional[Coordinator] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        lease_grace_s: float = DEFAULT_LEASE_GRACE_S,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if connect is not None and (bind is not None or coordinator is not None):
+            raise ValueError("connect is mutually exclusive with bind/coordinator")
+        self.connect = connect
+        self.bind = bind
+        self.max_attempts = max_attempts
+        self.heartbeat_s = heartbeat_s
+        self.lease_grace_s = lease_grace_s
+        self._log = log or (lambda message: None)
+        self._external = coordinator
+
+    def submit(
+        self, units: Iterable[ScenarioUnit], timeout_s: Optional[float] = None
+    ) -> Iterator[Tuple[ScenarioUnit, UnitResult]]:
+        all_units = list(units)
+        if self.connect is not None:
+            yield from self._submit_remote(all_units, timeout_s)
+            return
+        coordinator = self._external
+        owned = coordinator is None
+        if owned:
+            host, port = parse_hostport(self.bind or "127.0.0.1:0")
+            coordinator = Coordinator(
+                host=host, port=port, max_attempts=self.max_attempts,
+                heartbeat_s=self.heartbeat_s, lease_grace_s=self.lease_grace_s,
+                log=self._log,
+            ).start()
+        try:
+            for index, result in coordinator.submit_units(all_units, timeout_s):
+                yield all_units[index], result
+        finally:
+            if owned:
+                coordinator.close()
+
+    def _submit_remote(
+        self, all_units: List[ScenarioUnit], timeout_s: Optional[float]
+    ) -> Iterator[Tuple[ScenarioUnit, UnitResult]]:
+        from .worker import connect_with_retry  # shared dial-with-patience
+
+        host, port = parse_hostport(self.connect)
+        # Like workers, drivers may start before the coordinator: retry the
+        # dial briefly instead of failing the whole run on a startup race.
+        sock = connect_with_retry(host, port, timeout_s=30.0)
+        try:
+            sock.settimeout(None)
+            send_message(sock, {"type": "hello", "role": "driver",
+                                "wire_version": WIRE_VERSION})
+            welcome = recv_message(sock)
+            if welcome.get("type") != "welcome":
+                raise WireError(
+                    f"coordinator rejected the driver: "
+                    f"{welcome.get('message', welcome.get('type'))}"
+                )
+            send_message(sock, {
+                "type": "submit",
+                "timeout_s": timeout_s,
+                "units": [unit_to_wire(unit) for unit in all_units],
+            })
+            while True:
+                message = recv_message(sock)
+                kind = message.get("type")
+                if kind == "done":
+                    return
+                if kind == "result":
+                    index = int(message["index"])
+                    yield all_units[index], result_from_wire(message["result"])
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+def parse_hostport(spec: str, default_host: str = "127.0.0.1") -> Tuple[str, int]:
+    """Parse ``HOST:PORT`` / ``:PORT`` / ``PORT`` into ``(host, port)``."""
+    text = spec.strip()
+    if ":" in text:
+        host, _, port_text = text.rpartition(":")
+        host = host or default_host
+    else:
+        host, port_text = default_host, text
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"invalid address {spec!r}; expected HOST:PORT") from None
+    if not (0 <= port <= 65535):
+        raise ValueError(f"invalid port in {spec!r}")
+    return host, port

@@ -1,0 +1,127 @@
+"""Wire format of the queue backend: length-prefixed JSON frames.
+
+Every message between a coordinator and its peers (workers and remote
+drivers) is one UTF-8 JSON object prefixed by a 4-byte big-endian length.
+The payloads are plain dicts with a ``"type"`` discriminator; units and
+results travel as the dict encodings below, so a worker needs nothing but
+the installed package to execute leased units — the scenario registry is
+never consulted remotely (a :class:`~repro.bench.registry.ScenarioUnit`
+carries everything its executor needs).
+
+Protocol summary (all messages are peer-initiated; the coordinator only
+ever replies):
+
+==============  =======================================================
+worker → coord  ``hello`` (role=worker, jobs), ``lease`` (ask for a
+                unit), ``result`` (completed lease), ``heartbeat``
+coord → worker  ``welcome``, ``unit`` / ``idle`` / ``shutdown`` (lease
+                replies)
+driver → coord  ``hello`` (role=driver), ``submit`` (units + timeout)
+coord → driver  ``welcome``, ``result`` stream, ``done``
+==============  =======================================================
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Dict
+
+from ..registry import ScenarioUnit
+from ..runner import UnitResult
+
+#: Bump on any incompatible message-layout change; ``hello`` carries it and
+#: the coordinator rejects mismatched peers instead of mis-parsing them.
+WIRE_VERSION = 1
+
+#: Upper bound on one frame; anything larger is a corrupt or foreign stream.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class WireError(ConnectionError):
+    """Malformed frame or closed connection."""
+
+
+def send_message(sock: socket.socket, payload: Dict[str, object]) -> None:
+    """Serialise one message onto the socket (length prefix + JSON body)."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {len(body)} bytes exceeds the wire limit")
+    sock.sendall(_LENGTH.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise WireError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Dict[str, object]:
+    """Read one message; raises :class:`WireError` on EOF or garbage."""
+    (length,) = _LENGTH.unpack(_recv_exact(sock, _LENGTH.size))
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame length {length} exceeds the wire limit")
+    try:
+        payload = json.loads(_recv_exact(sock, length).decode("utf-8"))
+    except ValueError as exc:
+        raise WireError(f"undecodable frame: {exc}") from None
+    if not isinstance(payload, dict) or "type" not in payload:
+        raise WireError("frame is not a typed message object")
+    return payload
+
+
+# --------------------------------------------------------------------------- payload codecs
+def unit_to_wire(unit: ScenarioUnit) -> Dict[str, object]:
+    """Encode a unit for transmission (overrides tuples become lists)."""
+    return {
+        "scenario_id": unit.scenario_id,
+        "kind": unit.kind,
+        "system": unit.system,
+        "model_size": unit.model_size,
+        "task_type": unit.task_type,
+        "total_gpus": unit.total_gpus,
+        "variant": unit.variant,
+        "iterations": unit.iterations,
+        "warmup": unit.warmup,
+        "batch_scale": unit.batch_scale,
+        "seed": unit.seed,
+        "base_seed": unit.base_seed,
+        "timeout_s": unit.timeout_s,
+        "overrides": [[key, value] for key, value in unit.overrides],
+    }
+
+
+def unit_from_wire(payload: Dict[str, object]) -> ScenarioUnit:
+    return ScenarioUnit(
+        scenario_id=str(payload["scenario_id"]),
+        kind=str(payload["kind"]),
+        system=str(payload["system"]),
+        model_size=str(payload["model_size"]),
+        task_type=str(payload["task_type"]),
+        total_gpus=int(payload["total_gpus"]),
+        variant=str(payload["variant"]),
+        iterations=int(payload["iterations"]),
+        warmup=int(payload["warmup"]),
+        batch_scale=float(payload["batch_scale"]),
+        seed=int(payload["seed"]),
+        base_seed=int(payload["base_seed"]),
+        timeout_s=float(payload["timeout_s"]),
+        overrides=tuple((str(key), value) for key, value in payload.get("overrides", [])),
+    )
+
+
+def result_to_wire(result: UnitResult) -> Dict[str, object]:
+    return result.as_dict()
+
+
+def result_from_wire(payload: Dict[str, object]) -> UnitResult:
+    return UnitResult.from_dict(payload)

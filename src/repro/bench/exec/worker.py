@@ -1,0 +1,165 @@
+"""Worker agent: leases units from a coordinator and executes them locally.
+
+``repro-bench worker --connect HOST:PORT --jobs N`` runs this loop on any
+machine with the repo installed.  The worker keeps up to ``jobs`` leases in
+flight on a local ``ProcessPoolExecutor`` sub-pool (so one crashing unit
+cannot take the agent down), streams results back as they complete, and
+heartbeats at the interval the coordinator requests.  Unit budgets are
+enforced exactly as in the single-host runner — ``execute_unit`` arms its
+``SIGALRM`` inside the pool child, so the clock starts when the unit begins
+executing; the coordinator's lease expiry is only the backstop for wedged
+workers.
+
+The agent is deliberately stateless: everything a unit needs travels in the
+lease message, and results are keyed by lease id, so a worker that dies is
+simply replaced by requeueing its leases.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from typing import Callable, Dict, Optional
+
+from ..runner import execute_unit
+from .wire import (
+    WIRE_VERSION,
+    WireError,
+    recv_message,
+    result_to_wire,
+    send_message,
+    unit_from_wire,
+)
+
+#: How long ``connect_with_retry`` keeps knocking before giving up — covers
+#: the common orchestration where workers start before the coordinator.
+DEFAULT_CONNECT_TIMEOUT_S = 30.0
+
+
+def connect_with_retry(
+    host: str, port: int, timeout_s: float = DEFAULT_CONNECT_TIMEOUT_S,
+    interval_s: float = 0.25,
+) -> socket.socket:
+    """Dial the coordinator, retrying until ``timeout_s`` elapses."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=5.0)
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(interval_s)
+
+
+def run_worker(
+    host: str,
+    port: int,
+    jobs: int = 1,
+    connect_timeout_s: float = DEFAULT_CONNECT_TIMEOUT_S,
+    log: Optional[Callable[[str], None]] = None,
+    max_units: Optional[int] = None,
+) -> int:
+    """Serve one coordinator until it shuts the fleet down.
+
+    Returns a process exit code: 0 after an orderly shutdown (or when the
+    coordinator goes away after this worker did useful work), 1 when the
+    coordinator could never be reached or the local sub-pool broke.
+
+    ``max_units`` caps how many units this worker executes before exiting
+    (used by tests and chaos drills to force mid-run churn).
+    """
+    emit = log or (lambda message: None)
+    if jobs <= 0:
+        raise ValueError("jobs must be positive")
+    try:
+        sock = connect_with_retry(host, port, connect_timeout_s)
+    except OSError as exc:
+        emit(f"could not reach coordinator at {host}:{port}: {exc}")
+        return 1
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    executed = 0
+    exit_code = 0
+    welcomed = False
+    inflight: Dict[Future, int] = {}
+    try:
+        sock.settimeout(30.0)
+        send_message(sock, {
+            "type": "hello", "role": "worker", "wire_version": WIRE_VERSION,
+            "jobs": jobs,
+        })
+        welcome = recv_message(sock)
+        if welcome.get("type") != "welcome":
+            emit(f"coordinator rejected this worker: "
+                 f"{welcome.get('message', welcome.get('type'))}")
+            return 1
+        welcomed = True
+        heartbeat_s = float(welcome.get("heartbeat_s", 2.0))
+        worker_id = welcome.get("worker_id")
+        emit(f"worker {worker_id} serving {host}:{port} with {jobs} job slot(s)")
+        last_beat = time.monotonic()
+        backoff_until = 0.0
+        drained = False  # max_units reached; finish in-flight leases and leave
+        while True:
+            progressed = False
+            # ---- stream back any finished leases
+            for future in [f for f in inflight if f.done()]:
+                lease_id = inflight.pop(future)
+                result = future.result()  # execute_unit never raises
+                send_message(sock, {
+                    "type": "result", "lease_id": lease_id,
+                    "result": result_to_wire(result),
+                })
+                executed += 1
+                progressed = True
+                emit(f"unit done (lease {lease_id}, status {result.status})")
+            if max_units is not None and executed >= max_units:
+                drained = True
+            if drained and not inflight:
+                send_message(sock, {"type": "goodbye"})
+                emit(f"worker exiting after {executed} unit(s)")
+                return 0
+            # ---- ask for work while slots are free
+            now = time.monotonic()
+            if len(inflight) < jobs and now >= backoff_until and not drained:
+                send_message(sock, {"type": "lease"})
+                reply = recv_message(sock)
+                kind = reply.get("type")
+                if kind == "unit":
+                    unit = unit_from_wire(reply["unit"])
+                    budget = float(reply["timeout_s"])
+                    future = pool.submit(execute_unit, unit, budget)
+                    inflight[future] = int(reply["lease_id"])
+                    progressed = True
+                elif kind == "idle":
+                    backoff_until = now + float(reply.get("backoff_s", 0.25))
+                elif kind == "shutdown":
+                    emit(f"shutdown received after {executed} unit(s)")
+                    return 0
+                last_beat = time.monotonic()
+            # ---- keep the lease-liveness signal flowing
+            if time.monotonic() - last_beat >= heartbeat_s:
+                send_message(sock, {"type": "heartbeat"})
+                last_beat = time.monotonic()
+            if not progressed:
+                time.sleep(0.05)
+    except BrokenExecutor:
+        # The sub-pool lost a child to a hard crash (segfault / OOM kill).
+        # Exit without delivering results: the coordinator requeues our
+        # leases, keeping the retry-budget path authoritative.
+        emit("local worker pool broke; exiting so the coordinator requeues")
+        exit_code = 1
+    except (WireError, OSError):
+        # Coordinator went away after a completed handshake.  An orderly end
+        # of an embedded run looks the same as a crash from here, and an
+        # idle-but-healthy agent (fleet larger than the grid) is not a
+        # failure — only never reaching the coordinator at all is.
+        emit(f"coordinator connection closed after {executed} unit(s)")
+        exit_code = 0 if welcomed else 1
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+        pool.shutdown(wait=False, cancel_futures=True)
+    return exit_code

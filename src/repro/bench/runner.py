@@ -1,24 +1,24 @@
 """Parallel matrix runner for the scenario registry.
 
 :func:`run_scenarios` expands every selected :class:`ScenarioConfig` into its
-(system × GPU scale × variant) units, executes them — serially or on a
-``ProcessPoolExecutor`` with per-unit timeouts — and regroups the structured
-:class:`UnitResult`s into per-scenario :class:`ScenarioResult`s.
+(system × GPU scale × variant) units, executes them on a pluggable execution
+backend (:mod:`repro.bench.exec`: in-process, local ``ProcessPoolExecutor``,
+or a distributed coordinator + worker fleet) with per-unit timeouts, and
+regroups the structured :class:`UnitResult`s into per-scenario
+:class:`ScenarioResult`s.
 
 Unit execution is fully deterministic for a fixed scenario seed: every unit
 derives its own seed from the grid index, so results are bit-identical
-between ``jobs=1`` and ``jobs=N`` (the harness-measured ``elapsed_s`` is kept
-outside the comparable payload).
+between ``jobs=1``, ``jobs=N`` and any worker-fleet topology (the
+harness-measured ``elapsed_s`` is kept outside the comparable payload).
 """
 
 from __future__ import annotations
 
-import math
 import signal
 import threading
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, CancelledError, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -362,18 +362,21 @@ def execute_unit(unit: ScenarioUnit, timeout_s: Optional[float] = None) -> UnitR
     )
     if armed:
         previous = signal.signal(signal.SIGALRM, _raise_unit_timeout)
-        signal.alarm(max(1, int(math.ceil(timeout_s))))
     try:
+        if armed:
+            # setitimer (not alarm): float precision, so sub-second budgets
+            # fire instead of silently rounding up to one second.
+            signal.setitimer(signal.ITIMER_REAL, max(timeout_s, 1e-6))
         result.metrics = _EXECUTORS[unit.kind](unit)
     except _UnitTimeout:
         result.status = "timeout"
-        result.error = f"unit exceeded {timeout_s:.0f}s budget"
+        result.error = f"unit exceeded {timeout_s:g}s budget"
     except Exception:
         result.status = "failed"
         result.error = traceback.format_exc(limit=8)
     finally:
         if armed:
-            signal.alarm(0)
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, previous)
     return result
 
@@ -451,26 +454,39 @@ def run_scenarios(
     timeout_s: Optional[float] = None,
     progress: Optional[Callable[[UnitResult], None]] = None,
     profile_top: Optional[int] = None,
+    backend: Optional[object] = None,
 ) -> List[ScenarioResult]:
     """Execute every unit of every scenario and regroup per scenario.
 
-    ``jobs > 1`` runs units on a ``ProcessPoolExecutor``; each worker arms a
-    ``SIGALRM`` for its unit's budget (clock starts at actual execution, not
-    at submission) and over-budget units are reported with status
-    ``"timeout"``.  Serial runs enforce the same budget in-process (when on
-    the main thread of a platform with ``SIGALRM``).  ``timeout_s`` overrides
-    every scenario's own budget.
+    Units run on an execution backend (:mod:`repro.bench.exec`): with no
+    explicit ``backend``, ``jobs == 1`` implies the in-process
+    ``SerialBackend`` and ``jobs > 1`` the local ``ProcessPoolBackend`` —
+    the historical behaviour.  Passing a backend (e.g. a ``QueueBackend``
+    leasing units to a remote worker fleet) overrides ``jobs`` entirely.
+    Because every unit derives its seed from its grid index, the regrouped
+    results are bit-identical across backends.
+
+    Per-unit budgets are enforced where the unit executes (``SIGALRM`` in
+    :func:`execute_unit`, so the clock starts at actual execution, not at
+    submission) and over-budget units are reported with status
+    ``"timeout"``; the distributed coordinator additionally bounds each
+    lease by the same budget.  ``timeout_s`` overrides every scenario's own
+    budget.
 
     ``profile_top`` runs every unit under cProfile (serially, regardless of
     ``jobs``) and attaches a top-N cumulative report to each result's
     ``profile_text`` — the hot-path locator for perf work.
     """
+    from .exec import default_backend  # late import: exec builds on this module
+
     if jobs <= 0:
         raise ValueError("jobs must be positive")
     if profile_top is not None and profile_top <= 0:
         raise ValueError("profile_top must be positive")
-    if profile_top is not None:
-        jobs = 1  # profiles are collected in-process
+    if backend is None:
+        backend = default_backend(jobs=jobs, profile_top=profile_top)
+    elif profile_top is not None:
+        raise ValueError("profile_top requires the default (serial) backend")
     all_units: List[ScenarioUnit] = []
     for scenario in scenarios:
         all_units.extend(scenario.expand())
@@ -488,73 +504,24 @@ def run_scenarios(
         if progress is not None:
             progress(result)
 
-    if jobs == 1 or len(all_units) <= 1:
+    # Scenario wall-clocks: a concurrent backend has every scenario "started"
+    # the moment the batch is submitted, while a serial backend starts a
+    # scenario's clock only when its first unit begins executing — identical
+    # to the historical runner's accounting.
+    serial_like = not getattr(backend, "concurrent", True)
+    if serial_like:
+        if all_units:
+            start_times.setdefault(all_units[0].scenario_id, time.perf_counter())
+    else:
         for unit in all_units:
             start_times.setdefault(unit.scenario_id, time.perf_counter())
-            budget = timeout_s if timeout_s is not None else unit.timeout_s
-            if profile_top is not None:
-                note(unit, execute_unit_profiled(unit, budget, top=profile_top))
-            else:
-                note(unit, execute_unit(unit, budget))
-        return _collect(scenarios, unit_results, elapsed)
 
-    # No ``with`` block: a timed-out unit's worker is abandoned, and the
-    # context manager's shutdown(wait=True) would block on it anyway.
-    pool = ProcessPoolExecutor(max_workers=jobs)
-    # The budget proper is enforced worker-side (SIGALRM in execute_unit),
-    # where the clock starts when the unit actually runs.  The parent keeps a
-    # generous backstop per future for workers that die or hang outright;
-    # it is deliberately loose because the executor flags futures as
-    # "running" while they are still queued behind other units.
-    pending = {}
-    abandoned = False
-    for unit in all_units:
-        start_times.setdefault(unit.scenario_id, time.perf_counter())
-        budget = timeout_s if timeout_s is not None else unit.timeout_s
-        pending[pool.submit(execute_unit, unit, budget)] = [
-            unit, None, 2.0 * budget + 120.0,
-        ]
-    try:
-        while pending:
-            done, _ = wait(pending, timeout=1.0, return_when=FIRST_COMPLETED)
-            now = time.perf_counter()
-            for future in done:
-                unit, _started, _budget = pending.pop(future)
-                try:
-                    note(unit, future.result())
-                except (Exception, CancelledError):
-                    failed = UnitResult(
-                        scenario_id=unit.scenario_id, system=unit.system,
-                        model_size=unit.model_size, total_gpus=unit.total_gpus,
-                        variant=unit.variant, seed=unit.seed, status="failed",
-                        error=traceback.format_exc(limit=8),
-                    )
-                    note(unit, failed)
-            for future, entry in list(pending.items()):
-                unit, started, backstop = entry
-                if started is None:
-                    if future.running():
-                        entry[1] = now
-                    continue
-                if now - started <= backstop:
-                    continue
-                # The worker missed even its SIGALRM budget: abandon it.
-                future.cancel()
-                abandoned = True
-                pending.pop(future)
-                note(unit, UnitResult(
-                    scenario_id=unit.scenario_id, system=unit.system,
-                    model_size=unit.model_size, total_gpus=unit.total_gpus,
-                    variant=unit.variant, seed=unit.seed, status="timeout",
-                    error=f"unit exceeded the {backstop:.0f}s parent backstop",
-                ))
-    finally:
-        pool.shutdown(wait=False, cancel_futures=True)
-        if abandoned:
-            # Every tracked unit has a result by now, so any process still
-            # executing is a wedged worker that ignored its SIGALRM; kill it
-            # or the interpreter's atexit hook would join it forever.
-            for process in list(getattr(pool, "_processes", {}).values()):
-                if process.is_alive():
-                    process.terminate()
+    completed = 0
+    for unit, result in backend.submit(all_units, timeout_s=timeout_s):
+        note(unit, result)
+        completed += 1
+        if serial_like and completed < len(all_units):
+            start_times.setdefault(
+                all_units[completed].scenario_id, time.perf_counter()
+            )
     return _collect(scenarios, unit_results, elapsed)

@@ -8,11 +8,17 @@ perf trajectory of the repo is visible from the committed JSONs alone — and
 renders them as sparkline tables: one ``elapsed_s`` row (the engine-speed
 signal perf PRs move) plus one row per unit's primary metric (the
 regression-gate signal that must stay flat).
+
+``repro-bench trend --bisect SCENARIO METRIC`` turns the same history into a
+regression-hunting tool: :func:`largest_step` finds the biggest run-to-run
+move of a metric and :func:`commits_between` maps it to the commit range
+that produced it.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
 import subprocess
 from dataclasses import dataclass, field
@@ -197,6 +203,131 @@ def scenario_trends(
         )
         out[scenario_id] = (kinds[scenario_id], ordered)
     return out
+
+
+@dataclass
+class MetricStep:
+    """One run-to-run move of a metric, attributable to a commit range."""
+
+    scenario_id: str
+    series_label: str
+    metric: str
+    before: float
+    after: float
+    #: Snapshot bounds of the step: the runs just before and just after.
+    from_rev: str
+    to_rev: str
+    from_created: str
+    to_created: str
+
+    @property
+    def rel_change(self) -> float:
+        if self.before == 0:
+            return math.inf if self.after != 0 else 0.0
+        return (self.after - self.before) / abs(self.before)
+
+    @property
+    def magnitude(self) -> float:
+        """Ranking key: absolute relative change (inf-safe)."""
+        change = self.rel_change
+        return abs(change) if math.isfinite(change) else math.inf
+
+
+def metric_series(
+    snapshots: Sequence[RunSnapshot], scenario_id: str, metric: str
+) -> Dict[str, List[Optional[float]]]:
+    """Per-series history of one metric for one scenario.
+
+    ``metric="elapsed_s"`` yields the scenario wall-clock as a single
+    series; any other name is looked up in every unit's metrics dict (so
+    bisection is not limited to the kind's primary metric).
+    """
+    runs = len(snapshots)
+    series: Dict[str, List[Optional[float]]] = {}
+    for index, snapshot in enumerate(snapshots):
+        for result in snapshot.results:
+            if result.scenario_id != scenario_id:
+                continue
+            if metric == "elapsed_s":
+                row = series.setdefault("elapsed_s", [None] * runs)
+                row[index] = float(result.elapsed_s)
+                continue
+            for unit in result.units:
+                if metric not in unit.metrics:
+                    continue
+                row = series.setdefault(unit.label, [None] * runs)
+                row[index] = float(unit.metrics[metric])
+    return series
+
+
+def largest_step(
+    snapshots: Sequence[RunSnapshot], scenario_id: str, metric: str
+) -> Optional[MetricStep]:
+    """The biggest run-to-run move of ``metric`` across the history.
+
+    Consecutive *present* values are compared (runs missing the scenario or
+    the metric are skipped over), and the step with the largest absolute
+    relative change across all unit series wins.  Returns ``None`` when the
+    history holds fewer than two observations of the metric.
+    """
+    best: Optional[MetricStep] = None
+    for label, values in sorted(metric_series(snapshots, scenario_id, metric).items()):
+        observed = [
+            (index, value) for index, value in enumerate(values) if value is not None
+        ]
+        for (prev_index, before), (next_index, after) in zip(observed, observed[1:]):
+            step = MetricStep(
+                scenario_id=scenario_id, series_label=label, metric=metric,
+                before=before, after=after,
+                from_rev=snapshots[prev_index].git_rev,
+                to_rev=snapshots[next_index].git_rev,
+                from_created=snapshots[prev_index].created_at,
+                to_created=snapshots[next_index].created_at,
+            )
+            if step.magnitude == 0.0:
+                continue
+            if best is None or step.magnitude > best.magnitude:
+                best = step
+    return best
+
+
+def commits_between(from_rev: str, to_rev: str, cwd: Optional[str] = None) -> List[str]:
+    """``git log --oneline from..to`` — the commits that could have produced
+    a step between two artifact runs (newest first; [] outside a checkout)."""
+    try:
+        out = subprocess.run(
+            ["git", "log", "--oneline", f"{from_rev}..{to_rev}"],
+            cwd=cwd, capture_output=True, text=True, timeout=20,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return []
+    if out.returncode != 0:
+        return []
+    return [line for line in out.stdout.splitlines() if line.strip()]
+
+
+def render_bisect(step: Optional[MetricStep], commits: Sequence[str]) -> str:
+    """Console report mapping the largest metric step to its commit range."""
+    if step is None:
+        return "bisect: fewer than two observations of that metric in the history"
+    change = (
+        f"{step.rel_change:+.1%}" if math.isfinite(step.rel_change) else "from zero"
+    )
+    lines = [
+        f"largest step of {step.metric} in {step.scenario_id} "
+        f"[{step.series_label}]:",
+        f"  {step.before:g} -> {step.after:g} ({change})",
+        f"  between runs {step.from_rev}@{step.from_created[:10] or '?'} "
+        f"and {step.to_rev}@{step.to_created[:10] or '?'}",
+    ]
+    if commits:
+        lines.append(f"  produced by one of these {len(commits)} commit(s):")
+        lines.extend(f"    {line}" for line in commits)
+    else:
+        lines.append(
+            f"  commit range: git log --oneline {step.from_rev}..{step.to_rev}"
+        )
+    return "\n".join(lines)
 
 
 def render_trend(snapshots: Sequence[RunSnapshot]) -> str:

@@ -20,6 +20,9 @@ from repro.bench.store import save_artifact
 from repro.bench.trend import (
     RunSnapshot,
     collect_history,
+    largest_step,
+    metric_series,
+    render_bisect,
     render_trend,
     scenario_trends,
     sparkline,
@@ -168,6 +171,78 @@ def test_cli_trend_renders_history(tmp_path, cheap_scenario, capsys, monkeypatch
 def test_cli_trend_without_artifacts_errors(tmp_path, capsys, monkeypatch):
     monkeypatch.chdir(tmp_path)
     assert bench_main(["trend", "--no-git-history"]) == 1
+
+
+# --------------------------------------------------------------------------- bisect
+def test_largest_step_finds_the_biggest_move_and_its_revisions():
+    snapshots = [
+        _snapshot("aaa", "2026-01-01T00:00:00", "ws", 1.5, 10.0),
+        _snapshot("bbb", "2026-02-01T00:00:00", "ws", 1.6, 9.0),
+        _snapshot("ccc", "2026-03-01T00:00:00", "ws", 3.2, 2.0),  # the jump
+        _snapshot("ddd", "2026-04-01T00:00:00", "ws", 3.3, 2.1),
+    ]
+    step = largest_step(snapshots, "ws", "relay_speedup_vs_gpu_direct")
+    assert step is not None
+    assert (step.from_rev, step.to_rev) == ("bbb", "ccc")
+    assert step.before == 1.6 and step.after == 3.2
+    assert step.rel_change == pytest.approx(1.0)
+    # elapsed_s is addressable as a pseudo-metric of the scenario itself.
+    elapsed = largest_step(snapshots, "ws", "elapsed_s")
+    assert (elapsed.from_rev, elapsed.to_rev) == ("bbb", "ccc")
+    assert elapsed.series_label == "elapsed_s"
+    rendered = render_bisect(step, ["ccc fix the thing"])
+    assert "bbb" in rendered and "ccc" in rendered and "+100.0%" in rendered
+
+
+def test_largest_step_skips_gaps_and_handles_missing_history():
+    snapshots = [
+        _snapshot("aaa", "2026-01-01T00:00:00", "ws", 1.0, 1.0),
+        _snapshot("bbb", "2026-02-01T00:00:00", "other", 9.0, 1.0),  # gap for ws
+        _snapshot("ccc", "2026-03-01T00:00:00", "ws", 2.0, 1.0),
+    ]
+    step = largest_step(snapshots, "ws", "relay_speedup_vs_gpu_direct")
+    # The gap run is skipped over: the step spans aaa -> ccc.
+    assert (step.from_rev, step.to_rev) == ("aaa", "ccc")
+    assert largest_step(snapshots, "ws", "no_such_metric") is None
+    assert largest_step([], "ws", "elapsed_s") is None
+    assert "fewer than two" in render_bisect(None, [])
+    series = metric_series(snapshots, "ws", "relay_speedup_vs_gpu_direct")
+    assert series["laminar:32B/128gpu"] == [1.0, None, 2.0]
+
+
+def test_cli_trend_bisect(tmp_path, cheap_scenario, capsys, monkeypatch):
+    results = run_scenarios([cheap_scenario])
+    path = tmp_path / "BENCH_t.json"
+    save_artifact(results, str(path), configs=[cheap_scenario])
+    # Second, degraded run under a different fake revision.
+    import json as _json
+    payload = _json.loads(path.read_text())
+    payload["git_rev"] = "0000000"
+    payload["created_at"] = "2099-01-01T00:00:00+00:00"
+    entry = payload["scenarios"][cheap_scenario.id]["result"]
+    for unit in entry["units"]:
+        unit["metrics"]["relay_speedup_vs_gpu_direct"] *= 2.0
+    degraded = tmp_path / "BENCH_t2.json"
+    degraded.write_text(_json.dumps(payload))
+    monkeypatch.chdir(tmp_path)
+    code = bench_main(["trend", "--no-git-history", "--bisect", cheap_scenario.id,
+                       "relay_speedup_vs_gpu_direct", "BENCH_t.json", "BENCH_t2.json"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "largest step" in out and "+100.0%" in out and "0000000" in out
+    # Unknown metric: explicit failure, not a silent empty report.
+    assert bench_main(["trend", "--no-git-history", "--bisect", cheap_scenario.id,
+                       "nope_metric", "BENCH_t.json", "BENCH_t2.json"]) == 1
+    capsys.readouterr()
+    # A flat, fully-observed metric is healthy (exit 0), not "missing data".
+    flat = _json.loads(path.read_text())
+    flat["git_rev"] = "1111111"
+    flat["created_at"] = "2099-02-01T00:00:00+00:00"
+    (tmp_path / "BENCH_t3.json").write_text(_json.dumps(flat))
+    code = bench_main(["trend", "--no-git-history", "--bisect", cheap_scenario.id,
+                       "relay_speedup_vs_gpu_direct", "BENCH_t.json", "BENCH_t3.json"])
+    out = capsys.readouterr().out
+    assert code == 0 and "flat" in out
 
 
 # --------------------------------------------------------------------------- profiling
