@@ -13,7 +13,7 @@ Usage::
 
 from dataclasses import replace
 
-from repro.core import FailureEvent, FailureInjector, FailureKind, LaminarSystem
+from repro.systems import FailureEvent, FailureInjector, FailureKind, LaminarSystem
 from repro.experiments import (
     figure14_weight_sync,
     figure16_repack_efficiency,

@@ -15,7 +15,7 @@ from dataclasses import replace
 
 import numpy as np
 
-from repro.core import LaminarSystem
+from repro.systems import LaminarSystem
 from repro.experiments import make_system_config, measure_point
 from repro.rollout import TrajectoryFactory
 from repro.workload import PromptDataset, tool_task

@@ -12,8 +12,7 @@ Usage::
 
 from dataclasses import replace
 
-from repro.baselines import make_baseline
-from repro.core import LaminarSystem
+from repro.systems import LaminarSystem, make_system
 from repro.experiments import make_system_config, measure_point
 
 
@@ -39,7 +38,7 @@ def main() -> None:
     # ------------------------------------------------------------------ verl baseline
     verl_config = make_system_config("verl", "7B", 32, task_type="math")
     verl_config = replace(verl_config.scaled(1 / 16), num_iterations=2, warmup_iterations=0)
-    verl = make_baseline(verl_config).run()
+    verl = make_system(verl_config).run()
     print("\n=== verl (synchronous, colocated) ===")
     print(f"  mean iteration time: {verl.mean_iteration_time():.1f} s, "
           f"throughput {verl.throughput():.0f} tokens/s")

@@ -10,9 +10,13 @@ The package is organised as:
 * :mod:`repro.data` — prompt pool, partial-response pool, experience buffer.
 * :mod:`repro.rollout` — the replica generation engine shared by every system.
 * :mod:`repro.trainer` — actor training cost model and iteration accounting.
-* :mod:`repro.core` — Laminar itself: relay workers, repack, rollout manager,
-  staleness tracking, fault tolerance, the end-to-end system.
-* :mod:`repro.baselines` — verl, one-step staleness, stream generation, AReaL.
+* :mod:`repro.runtime` — shared execution substrate: seeded workload bundle,
+  completion pipeline, weight-sync components, the DES harness.
+* :mod:`repro.systems` — the unified system registry: the ``System`` protocol,
+  Laminar and its component library (relays, repack, rollout manager,
+  staleness tracking, fault tolerance), the §8 baselines (verl, one-step
+  staleness, stream generation, AReaL) and the composed variants
+  (``laminar_norepack``, ``semi_sync``).
 * :mod:`repro.algorithms` — GRPO / Decoupled PPO on a synthetic reasoning task.
 * :mod:`repro.experiments` — one driver per table/figure of the evaluation.
 * :mod:`repro.bench` — scenario registry, parallel matrix benchmark runner,
@@ -22,7 +26,7 @@ The package is organised as:
 from .config import SystemConfig, default_trainer_parallel
 from .types import Experience, Prompt, Trajectory, WeightVersion
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Benchmark API re-exported lazily (PEP 562) so that ``import repro`` does
 #: not pull in the full experiments stack.

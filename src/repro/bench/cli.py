@@ -3,13 +3,16 @@
 Workflow::
 
     repro-bench list                         # scenario catalog
+    repro-bench list --systems               # registered systems + capabilities
     repro-bench run --scenario throughput_smoke --jobs 2 --export BENCH_smoke.json
+    repro-bench run --scenario smoke --system laminar --system verl  # grid filter
     repro-bench run --scenario smoke --compare      # regression-gate vs stored artifact
     repro-bench run --scenario smoke --profile 20   # per-unit cProfile hot paths
     repro-bench compare --baseline BENCH_smoke.json # re-run + gate against an artifact
     repro-bench trend                               # sparkline history of BENCH_*.json
-    repro-bench trend --bisect SCENARIO METRIC      # map the largest metric step
-                                                    # to its commit range
+    repro-bench trend --bisect SCENARIO METRIC      # largest metric step -> commit
+                                                    # range, tightened to one commit
+                                                    # by midpoint re-runs in a checkout
 
 Distributed runs (any machine with the repo installed can serve units)::
 
@@ -46,7 +49,12 @@ from .exec import (
     run_worker,
 )
 from .registry import ScenarioConfig, all_scenarios, get_scenario, select_scenarios
-from .report import render_comparison, render_results, render_scenario_list
+from .report import (
+    render_comparison,
+    render_results,
+    render_scenario_list,
+    render_system_list,
+)
 from .runner import ScenarioResult, UnitResult, run_scenarios
 from .store import (
     default_artifact_path,
@@ -66,16 +74,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    list_cmd = sub.add_parser("list", help="list registered scenarios")
+    list_cmd = sub.add_parser("list", help="list registered scenarios (or systems)")
     list_cmd.add_argument("--tag", action="append", default=[],
                           help="only scenarios carrying this tag (repeatable)")
+    list_cmd.add_argument("--systems", action="store_true",
+                          help="list the registered systems and their "
+                               "capabilities instead of the scenarios")
     list_cmd.add_argument("-v", "--verbose", action="store_true",
-                          help="include scenario descriptions")
+                          help="include scenario (or system) descriptions")
 
     run_cmd = sub.add_parser("run", help="run scenarios and persist results")
     run_cmd.add_argument("--scenario", action="append", default=[], metavar="PATTERN",
                          help="scenario id, glob, substring or tag (repeatable; "
                               "default: 'smoke')")
+    run_cmd.add_argument("--system", action="append", default=[], metavar="NAME",
+                         help="restrict every selected scenario's grid to "
+                              "these registered systems (repeatable)")
     run_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
                          help="parallel worker processes (default: 1)")
     run_cmd.add_argument("--backend", choices=BACKENDS, default=None,
@@ -124,6 +138,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="restrict the comparison to matching scenarios")
     cmp_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
                          help="parallel workers when re-running (default: 1)")
+    cmp_cmd.add_argument("--backend", choices=BACKENDS, default=None,
+                         help="execution backend for the re-run; 'queue' "
+                              "distributes units to repro-bench workers")
+    cmp_cmd.add_argument("--bind", metavar="HOST:PORT", default=None,
+                         help="with --backend queue: embed a coordinator bound "
+                              f"here (default: 127.0.0.1:{_DEFAULT_PORT})")
+    cmp_cmd.add_argument("--connect", metavar="HOST:PORT", default=None,
+                         help="with --backend queue: submit the re-run to an "
+                              "already-running `repro-bench serve` coordinator")
     cmp_cmd.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                          help=f"relative regression tolerance (default: {DEFAULT_TOLERANCE})")
 
@@ -145,7 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
                            default=None,
                            help="report the largest run-to-run step of METRIC in "
                                 "SCENARIO and the commit range that produced it "
-                                "(METRIC may be 'elapsed_s' or any unit metric)")
+                                "(METRIC may be 'elapsed_s' or any unit metric); "
+                                "inside a git checkout, unit-metric ranges are "
+                                "tightened to a single commit by re-running the "
+                                "scenario at range midpoints in temporary "
+                                "worktrees (elapsed_s is machine-dependent and "
+                                "stays range-only)")
 
     serve_cmd = sub.add_parser(
         "serve", help="standalone coordinator: accepts repro-bench workers and "
@@ -207,6 +235,9 @@ def _load_baseline(paths: Sequence[str]) -> List[ScenarioResult]:
 
 
 def cmd_list(args: argparse.Namespace) -> int:
+    if args.systems:
+        print(render_system_list(verbose=args.verbose))
+        return 0
     scenarios = all_scenarios()
     if args.tag:
         scenarios = [s for s in scenarios if any(t in s.tags for t in args.tag)]
@@ -214,8 +245,37 @@ def cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _filter_systems(scenarios: List[ScenarioConfig],
+                    systems: Sequence[str]) -> List[ScenarioConfig]:
+    """Validate a ``--system`` selection and drop scenarios it cannot touch.
+
+    Unknown names fail with the registered-names list; an empty selection
+    overall is an error.  The scenarios themselves are returned unchanged —
+    the *unit* filter happens inside :func:`run_scenarios` after grid
+    expansion, so surviving units keep their original grid indices (and
+    therefore their seeds: a filtered unit's metrics are bit-identical to the
+    same unit in a full-grid run).
+    """
+    from repro.systems.base import SystemRegistryError, get_system_class
+
+    for name in systems:
+        try:
+            get_system_class(name)
+        except SystemRegistryError as exc:
+            raise ValueError(str(exc)) from None
+    keep = set(systems)
+    filtered = [s for s in scenarios if keep.intersection(s.systems)]
+    if not filtered:
+        raise ValueError(
+            "no selected scenario evaluates any of the requested systems: "
+            + ", ".join(sorted(keep))
+        )
+    return filtered
+
+
 def _run_backend(args: argparse.Namespace):
     """Resolve --backend/--bind/--connect into (backend, owned coordinator)."""
+    profile = getattr(args, "profile", None)
     if args.backend is None:
         if args.bind or args.connect:
             raise ValueError("--bind/--connect require --backend queue")
@@ -224,7 +284,7 @@ def _run_backend(args: argparse.Namespace):
         if args.bind or args.connect:
             raise ValueError("--bind/--connect require --backend queue")
         return make_backend(args.backend, jobs=args.jobs,
-                            profile_top=args.profile), None
+                            profile_top=profile), None
     if args.connect:
         if args.bind:
             raise ValueError("--bind and --connect are mutually exclusive")
@@ -249,6 +309,16 @@ def cmd_run(args: argparse.Namespace) -> int:
         raise ValueError("--budget must be positive")
     patterns = args.scenario or ["smoke"]
     scenarios = select_scenarios(patterns)
+    if args.system:
+        scenarios = _filter_systems(scenarios, args.system)
+        if not args.no_save and not args.export:
+            # Never clobber a committed full-grid BENCH_<id>.json with a
+            # partial grid — the dropped units would silently stop gating.
+            # An explicit --export destination remains allowed.
+            print("note: --system runs a partial grid; results are not saved "
+                  "to the default artifact paths (use --export to persist)",
+                  flush=True)
+            args.no_save = True
     print(f"running {len(scenarios)} scenario(s): "
           + ", ".join(s.id for s in scenarios), flush=True)
     if args.profile is not None:
@@ -272,6 +342,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         selected_ids = {s.id for s in scenarios}
         baseline = [r for r in _load_baseline(_baseline_paths(args, scenarios))
                     if r.scenario_id in selected_ids]
+        if args.system:
+            # A --system-restricted run must only be gated on the units it
+            # actually executes.
+            keep = set(args.system)
+            for result in baseline:
+                result.units = [u for u in result.units if u.system in keep]
         if not baseline:
             print("note: no baseline artifact found; all units will report "
                   "'no-baseline'", flush=True)
@@ -284,6 +360,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             # An explicit backend already embeds the profile setting.
             profile_top=args.profile if backend is None else None,
             backend=backend,
+            systems=args.system or None,
         )
     finally:
         if coordinator is not None:
@@ -343,6 +420,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
             return 1
 
     if args.candidate:
+        if args.backend or args.bind or args.connect:
+            raise ValueError("--backend/--bind/--connect apply to compare "
+                             "re-runs only (omit --candidate)")
         _, candidate = load_results(args.candidate)
         if args.scenario:
             keep = {r.scenario_id for r in baseline}
@@ -356,9 +436,15 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 print(f"note: scenario {result.scenario_id!r} is no longer "
                       f"registered; skipping re-run", flush=True)
         baseline = [r for r in baseline if r.scenario_id in {c.id for c in configs}]
+        backend, coordinator = _run_backend(args)
         print(f"re-running {len(configs)} scenario(s) from the baseline artifact",
               flush=True)
-        candidate = run_scenarios(configs, jobs=args.jobs, progress=_progress)
+        try:
+            candidate = run_scenarios(configs, jobs=args.jobs, progress=_progress,
+                                      backend=backend)
+        finally:
+            if coordinator is not None:
+                coordinator.close()
 
     report = compare_runs(candidate, baseline, tolerance=args.tolerance)
     print()
@@ -407,7 +493,28 @@ def cmd_trend(args: argparse.Namespace) -> int:
             commits_between(step.from_rev, step.to_rev)
             if step.from_rev != step.to_rev else []
         )
-        print(render_bisect(step, commits))
+        outcome = None
+        if len(commits) > 1 and step.metric == "elapsed_s":
+            # Historical elapsed_s values were recorded on whatever machine
+            # produced the artifact; a re-run on this machine cannot be
+            # classified against them, so the range is not tightened.
+            print("note: elapsed_s is harness wall-clock (machine-dependent); "
+                  "skipping midpoint re-runs, reporting the range only",
+                  flush=True)
+        if len(commits) > 1 and step.metric != "elapsed_s":
+            # Inside a checkout (the range resolved), tighten the range to a
+            # single commit by re-running the scenario at range midpoints.
+            from .trend import bisect_commits, run_scenario_at_revision
+
+            print(f"bisecting {len(commits)} commits by re-running "
+                  f"{scenario_id} at range midpoints...", flush=True)
+            outcome = bisect_commits(
+                step, commits,
+                lambda revision: run_scenario_at_revision(
+                    revision, scenario_id, step.series_label, metric
+                ),
+            )
+        print(render_bisect(step, commits, outcome))
         return 0
     print(render_trend(snapshots))
     return 0 if snapshots else 1

@@ -16,7 +16,8 @@ import fnmatch
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..experiments.placements import PLACEMENTS, SYSTEMS
+from ..experiments.placements import SYSTEMS, placement_for
+from ..systems.base import SystemRegistryError, get_system_class
 
 #: Supported scenario kinds (each has an executor in ``repro.bench.runner``).
 KINDS = (
@@ -77,15 +78,19 @@ class ScenarioConfig:
         if not self.systems:
             raise ValueError("scenario needs at least one system")
         for system in self.systems:
-            if system not in SYSTEMS:
-                raise ValueError(f"unknown system {system!r}; known: {SYSTEMS}")
+            try:
+                get_system_class(system)
+            except SystemRegistryError as exc:
+                raise ValueError(str(exc)) from None
         for gpus in self.gpu_scales:
             for system in self.systems:
-                if (system, self.model_size, gpus) not in PLACEMENTS:
+                try:
+                    placement_for(system, self.model_size, gpus)
+                except KeyError:
                     raise ValueError(
                         f"scenario {self.id!r}: no Table 2 placement for "
                         f"({system}, {self.model_size}, {gpus})"
-                    )
+                    ) from None
         labels = [label for label, _ in self.variants]
         if len(labels) != len(set(labels)):
             raise ValueError(f"scenario {self.id!r}: duplicate variant labels")
@@ -343,6 +348,33 @@ SCENARIOS: Tuple[ScenarioConfig, ...] = (
         warmup=0,
         timeout_s=60.0,
         tags=("broadcast", "fig18", "smoke"),
+    ),
+    ScenarioConfig(
+        id="laminar_norepack",
+        description="Fig 16 repack ablation as a registry variant: Laminar vs "
+                    "the registered laminar_norepack system (32B, 128 GPUs), "
+                    "cross-checked against the repack_ablation_32b gain.",
+        kind="throughput",
+        systems=("laminar", "laminar_norepack"),
+        model_size="32B",
+        gpu_scales=(128,),
+        timeout_s=240.0,
+        tags=("repack", "fig16", "variant", "smoke"),
+    ),
+    ScenarioConfig(
+        id="semi_sync",
+        description="Bounded-staleness barrier hybrid (registered semi_sync "
+                    "system) vs the one-step pipeline: a new Fig 11-style "
+                    "series, 7B @ 16 GPUs at 1/8-scale batch.",
+        kind="throughput",
+        systems=("one_step", "semi_sync"),
+        model_size="7B",
+        gpu_scales=(16,),
+        iterations=3,
+        warmup=1,
+        batch_scale=0.125,
+        timeout_s=240.0,
+        tags=("throughput", "variant", "smoke"),
     ),
     ScenarioConfig(
         id="staleness_bound_7b",

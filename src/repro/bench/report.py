@@ -66,6 +66,37 @@ def render_scenario_list(scenarios: Iterable[ScenarioConfig], verbose: bool = Fa
     return "\n".join(details)
 
 
+def render_system_list(verbose: bool = False) -> str:
+    """Registered systems with their declared capabilities
+    (``repro-bench list --systems``)."""
+    from ..systems.base import available_systems, get_system_class
+
+    rows: List[List[object]] = []
+    for name in available_systems():
+        caps = get_system_class(name).capabilities
+        rows.append([
+            name,
+            "continuous" if caps.continuous else "batch",
+            "yes" if caps.colocated else "no",
+            caps.weight_sync,
+            caps.staleness,
+            "yes" if caps.repack else "no",
+            caps.placement_like or name,
+            caps.throughput_method,
+        ])
+    table = format_table(
+        ["system", "generation", "colocated", "weight-sync", "staleness",
+         "repack", "placements", "throughput-eval"],
+        rows,
+    )
+    if not verbose:
+        return table
+    details = [table, ""]
+    for name in available_systems():
+        details.append(f"{name}: {get_system_class(name).capabilities.description}")
+    return "\n".join(details)
+
+
 def render_results(results: Sequence[ScenarioResult]) -> str:
     """Per-unit primary metrics plus scenario-level summaries."""
     blocks: List[str] = []

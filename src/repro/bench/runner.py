@@ -151,15 +151,10 @@ def _build_config(unit: ScenarioUnit, config_overrides: Dict[str, object]) -> Sy
 
 
 def _run_throughput(unit: ScenarioUnit) -> Dict[str, float]:
-    from ..experiments.throughput import measure_areal, measure_batch_system, measure_laminar
+    from ..experiments.throughput import measure_config
 
     config = _build_config(unit, overrides_dict(unit.overrides))
-    if unit.system == "laminar":
-        point = measure_laminar(config)
-    elif unit.system == "areal":
-        point = measure_areal(config)
-    else:
-        point = measure_batch_system(config)
+    point = measure_config(config)
     metrics: Dict[str, float] = {
         "throughput_tok_s": float(point.throughput),
         "iteration_time_s": float(point.iteration_time),
@@ -193,8 +188,7 @@ def _run_convergence(unit: ScenarioUnit) -> Dict[str, float]:
 
 
 def _run_fault_injection(unit: ScenarioUnit) -> Dict[str, float]:
-    from ..core.fault_tolerance import FailureEvent, FailureInjector, FailureKind
-    from ..core.laminar import LaminarSystem
+    from ..systems import FailureEvent, FailureInjector, FailureKind, LaminarSystem
 
     params = overrides_dict(unit.overrides)
     failure_kind = str(params.pop("failure_kind", FailureKind.ROLLOUT_MACHINE))
@@ -262,7 +256,7 @@ def _run_kvcache_lifecycle(unit: ScenarioUnit) -> Dict[str, float]:
 
 
 def _run_weight_sync(unit: ScenarioUnit) -> Dict[str, float]:
-    from ..core.broadcast_model import broadcast_latency, rollout_wait_comparison
+    from ..systems.broadcast_model import broadcast_latency, rollout_wait_comparison
     from ..sim.cluster import GPUS_PER_MACHINE
 
     config = _build_config(unit, overrides_dict(unit.overrides))
@@ -285,7 +279,7 @@ def _run_weight_sync(unit: ScenarioUnit) -> Dict[str, float]:
 
 
 def _run_broadcast_latency(unit: ScenarioUnit) -> Dict[str, float]:
-    from ..core.broadcast_model import (
+    from ..systems.broadcast_model import (
         broadcast_breakdown,
         figure18_series,
         optimal_chunks,
@@ -435,7 +429,10 @@ def _collect(scenarios: Sequence[ScenarioConfig], unit_results: Dict[Tuple, Unit
              elapsed: Dict[str, float]) -> List[ScenarioResult]:
     results: List[ScenarioResult] = []
     for scenario in scenarios:
-        units = [unit_results[u.key] for u in scenario.expand()]
+        # Grid-order regrouping; a system-filtered run executed only a subset
+        # of the expansion.
+        units = [unit_results[u.key] for u in scenario.expand()
+                 if u.key in unit_results]
         results.append(
             ScenarioResult(
                 scenario_id=scenario.id,
@@ -455,6 +452,7 @@ def run_scenarios(
     progress: Optional[Callable[[UnitResult], None]] = None,
     profile_top: Optional[int] = None,
     backend: Optional[object] = None,
+    systems: Optional[Iterable[str]] = None,
 ) -> List[ScenarioResult]:
     """Execute every unit of every scenario and regroup per scenario.
 
@@ -476,6 +474,11 @@ def run_scenarios(
     ``profile_top`` runs every unit under cProfile (serially, regardless of
     ``jobs``) and attaches a top-N cumulative report to each result's
     ``profile_text`` — the hot-path locator for perf work.
+
+    ``systems`` restricts execution to the named systems' grid points.  The
+    filter drops units *after* grid expansion, so the surviving units keep
+    their original grid indices — and therefore their seeds and metrics are
+    bit-identical to a full-grid run of the same scenario.
     """
     from .exec import default_backend  # late import: exec builds on this module
 
@@ -487,9 +490,12 @@ def run_scenarios(
         backend = default_backend(jobs=jobs, profile_top=profile_top)
     elif profile_top is not None:
         raise ValueError("profile_top requires the default (serial) backend")
+    keep_systems = set(systems) if systems is not None else None
     all_units: List[ScenarioUnit] = []
     for scenario in scenarios:
-        all_units.extend(scenario.expand())
+        for unit in scenario.expand():
+            if keep_systems is None or unit.system in keep_systems:
+                all_units.append(unit)
 
     unit_results: Dict[Tuple, UnitResult] = {}
     elapsed: Dict[str, float] = {}

@@ -12,7 +12,13 @@ regression-gate signal that must stay flat).
 ``repro-bench trend --bisect SCENARIO METRIC`` turns the same history into a
 regression-hunting tool: :func:`largest_step` finds the biggest run-to-run
 move of a metric and :func:`commits_between` maps it to the commit range
-that produced it.
+that produced it.  Inside a git checkout, :func:`bisect_commits` then
+tightens a unit-metric range to a single commit by true bisection —
+:func:`run_scenario_at_revision` checks each midpoint out into a temporary
+``git worktree``, re-runs the scenario there, and the observed value decides
+which half of the range the step lives in.  ``elapsed_s`` steps stay
+range-only: historical wall-clocks were recorded on other machines, so a
+local re-run cannot be classified against them.
 """
 
 from __future__ import annotations
@@ -291,6 +297,120 @@ def largest_step(
     return best
 
 
+@dataclass
+class BisectOutcome:
+    """Result of tightening a commit range by re-running the scenario."""
+
+    #: ``git log --oneline`` line of the single culprit commit, if found.
+    culprit: Optional[str]
+    #: ``(revision, observed value)`` for every midpoint actually re-run.
+    tested: List[Tuple[str, Optional[float]]] = field(default_factory=list)
+    note: str = ""
+
+
+def run_scenario_at_revision(
+    revision: str,
+    scenario_id: str,
+    series_label: str,
+    metric: str,
+    cwd: Optional[str] = None,
+    timeout_s: float = 900.0,
+) -> Optional[float]:
+    """Re-run ``scenario_id`` at ``revision`` and read one metric value.
+
+    Checks the revision out into a temporary ``git worktree``, runs
+    ``python -m repro.bench run --scenario <id>`` there with the worktree's
+    own ``src`` on ``PYTHONPATH``, and extracts ``metric`` for
+    ``series_label`` (an exact unit label, or ``elapsed_s`` for the scenario
+    wall-clock) from the exported artifact.  Returns ``None`` when the
+    revision cannot be built or run — the bisection then falls back to the
+    range-only report.
+    """
+    import shutil
+    import sys
+    import tempfile
+
+    tmpdir = tempfile.mkdtemp(prefix="repro-bisect-")
+    worktree = os.path.join(tmpdir, "tree")
+    export = os.path.join(tmpdir, "out.json")
+    try:
+        added = subprocess.run(
+            ["git", "worktree", "add", "--detach", worktree, revision],
+            cwd=cwd, capture_output=True, text=True, timeout=60,
+        )
+        if added.returncode != 0:
+            return None
+        env = dict(os.environ)
+        src = os.path.join(worktree, "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        ran = subprocess.run(
+            [sys.executable, "-m", "repro.bench", "run",
+             "--scenario", scenario_id, "--export", export],
+            cwd=worktree, env=env, capture_output=True, text=True,
+            timeout=timeout_s,
+        )
+        if ran.returncode != 0 or not os.path.exists(export):
+            return None
+        for result in results_from_artifact(load_artifact(export)):
+            if result.scenario_id != scenario_id:
+                continue
+            if metric == "elapsed_s":
+                return float(result.elapsed_s)
+            for unit in result.units:
+                if unit.label == series_label and metric in unit.metrics:
+                    return float(unit.metrics[metric])
+        return None
+    except (OSError, subprocess.TimeoutExpired, ValueError):
+        return None
+    finally:
+        subprocess.run(["git", "worktree", "remove", "--force", worktree],
+                       cwd=cwd, capture_output=True, text=True, timeout=60)
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
+def bisect_commits(
+    step: MetricStep,
+    commits: Sequence[str],
+    run_metric,
+) -> BisectOutcome:
+    """Tighten ``step``'s commit range to one commit by true bisection.
+
+    ``commits`` is the ``git log --oneline from..to`` range (newest first:
+    excludes the known-good ``from_rev``, includes the known-bad side).
+    ``run_metric(revision) -> Optional[float]`` re-measures the metric at a
+    revision; each observation is classified by which endpoint value it is
+    closer to, and the first commit on the ``after`` side is the culprit.
+    A midpoint that fails to run aborts the search (range-only fallback).
+    """
+    candidates = [line.split()[0] for line in reversed(list(commits))]  # oldest first
+    if len(candidates) == 1:
+        return BisectOutcome(culprit=list(commits)[0],
+                             note="range already contains a single commit")
+    tested: List[Tuple[str, Optional[float]]] = []
+    lo, hi = -1, len(candidates) - 1  # lo: before-side index, hi: after-side
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        value = run_metric(candidates[mid])
+        tested.append((candidates[mid], value))
+        if value is None:
+            return BisectOutcome(
+                culprit=None, tested=tested,
+                note=f"could not re-run the scenario at {candidates[mid]}; "
+                     "reporting the range only",
+            )
+        if abs(value - step.after) < abs(value - step.before):
+            hi = mid  # the step already happened at this midpoint
+        else:
+            lo = mid
+    culprit_sha = candidates[hi]
+    culprit = next(
+        (line for line in commits if line.split()[0] == culprit_sha), culprit_sha
+    )
+    return BisectOutcome(culprit=culprit, tested=tested)
+
+
 def commits_between(from_rev: str, to_rev: str, cwd: Optional[str] = None) -> List[str]:
     """``git log --oneline from..to`` — the commits that could have produced
     a step between two artifact runs (newest first; [] outside a checkout)."""
@@ -306,8 +426,13 @@ def commits_between(from_rev: str, to_rev: str, cwd: Optional[str] = None) -> Li
     return [line for line in out.stdout.splitlines() if line.strip()]
 
 
-def render_bisect(step: Optional[MetricStep], commits: Sequence[str]) -> str:
-    """Console report mapping the largest metric step to its commit range."""
+def render_bisect(
+    step: Optional[MetricStep],
+    commits: Sequence[str],
+    outcome: Optional[BisectOutcome] = None,
+) -> str:
+    """Console report mapping the largest metric step to its commit range
+    (tightened to a single commit when a :class:`BisectOutcome` is given)."""
     if step is None:
         return "bisect: fewer than two observations of that metric in the history"
     change = (
@@ -320,9 +445,20 @@ def render_bisect(step: Optional[MetricStep], commits: Sequence[str]) -> str:
         f"  between runs {step.from_rev}@{step.from_created[:10] or '?'} "
         f"and {step.to_rev}@{step.to_created[:10] or '?'}",
     ]
+    if outcome is not None and outcome.culprit is not None:
+        for revision, value in outcome.tested:
+            observed = f"{value:g}" if value is not None else "run failed"
+            lines.append(f"  re-ran at {revision}: {observed}")
+        lines.append("  bisected to a single commit:")
+        lines.append(f"    {outcome.culprit}")
+        if outcome.note:
+            lines.append(f"  note: {outcome.note}")
+        return "\n".join(lines)
     if commits:
         lines.append(f"  produced by one of these {len(commits)} commit(s):")
         lines.extend(f"    {line}" for line in commits)
+        if outcome is not None and outcome.note:
+            lines.append(f"  note: {outcome.note}")
     else:
         lines.append(
             f"  commit range: git log --oneline {step.from_rev}..{step.to_rev}"

@@ -18,14 +18,14 @@ from ..algorithms.convergence import (
     SystemConvergenceProfile,
     compare_systems,
 )
-from ..baselines import make_baseline
 from ..config import SystemConfig
-from ..core import (
+from ..systems import (
     FailureEvent,
     FailureInjector,
     FailureKind,
     LaminarSystem,
     figure18_series,
+    make_system,
     rollout_wait_comparison,
 )
 from ..llm import DecodeModel, QWEN_7B, QWEN_32B, QWEN_72B, get_model
@@ -43,7 +43,7 @@ def figure1_time_breakdown(batch_scale: float = 1.0 / 8.0, seed: int = 0) -> Dic
         config = make_system_config("verl", "7B", 32, task_type=task_type, seed=seed)
         config = config.scaled(batch_scale)
         config = replace(config, num_iterations=2, warmup_iterations=0)
-        result = make_baseline(config).run()
+        result = make_system(config).run()
         out[task_type] = result.mean_breakdown().fractions()
     return out
 

@@ -5,6 +5,12 @@ serve the trainer and how many serve rollouts.  verl uses colocation (all GPUs
 alternate between the two stages).  The rollout tensor-parallel size also
 follows the appendix: TP=1 for the 7B model in AReaL/Laminar, TP=2 for the 7B
 model in the other systems, TP=4 for 32B and TP=8 for 72B.
+
+Systems are resolved through the :mod:`repro.systems` registry: a registered
+variant (``laminar_norepack``, ``semi_sync``) declares which canonical
+system's placements it reuses via ``SystemCapabilities.placement_like``, and
+:func:`make_system_config` reads the per-system knobs (staleness bound, max
+concurrency, repack) off the registered class instead of hard-coded tables.
 """
 
 from __future__ import annotations
@@ -13,8 +19,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..config import SystemConfig, default_trainer_parallel
+from ..systems.base import (
+    SystemRegistryError,
+    get_system_class,
+    placement_system,
+)
 
-#: Canonical system identifiers.
+#: Canonical system identifiers evaluated in the paper (Fig 11 series).
+#: Registered variants resolve onto these via ``placement_like``.
 SYSTEMS = ("verl", "one_step", "stream_gen", "areal", "laminar")
 
 SYSTEM_LABELS = {
@@ -106,20 +118,29 @@ MODEL_SCALES: Dict[str, List[int]] = {
 }
 
 
+def _placement_base(system: str) -> str:
+    """The canonical system whose Table 2 placements ``system`` uses."""
+    try:
+        return placement_system(system)
+    except SystemRegistryError:
+        return system  # unregistered name: fall through to the table lookup
+
+
 def rollout_tensor_parallel(system: str, model_size: str) -> int:
-    """Rollout TP size per Appendix A.2."""
+    """Rollout TP size per Appendix A.2 (variants follow their base system)."""
+    base = _placement_base(system)
     if model_size == "32B":
         return 4
     if model_size == "72B":
         return 8
     # 7B: AReaL and Laminar maximise throughput with TP=1; others use TP=2.
-    return 1 if system in ("areal", "laminar") else 2
+    return 1 if base in ("areal", "laminar") else 2
 
 
 def placement_for(system: str, model_size: str, total_gpus: int) -> Tuple[int, int]:
-    """Trainer/rollout GPU split from Table 2."""
+    """Trainer/rollout GPU split from Table 2 (variants follow their base)."""
     try:
-        return PLACEMENTS[(system, model_size, total_gpus)]
+        return PLACEMENTS[(_placement_base(system), model_size, total_gpus)]
     except KeyError:
         raise KeyError(
             f"no Table 2 placement for system={system!r}, model={model_size!r}, "
@@ -134,13 +155,19 @@ def make_system_config(
     task_type: str = "math",
     **overrides,
 ) -> SystemConfig:
-    """Build the paper-accurate configuration for one evaluation grid point."""
-    if system not in SYSTEMS:
-        raise ValueError(f"unknown system {system!r}; known: {SYSTEMS}")
+    """Build the paper-accurate configuration for one evaluation grid point.
+
+    ``system`` may be any name in the :mod:`repro.systems` registry; its
+    placement, tensor parallelism, staleness bound, concurrency cap and
+    repack setting come from the registered class's capabilities.
+    """
+    try:
+        capabilities = get_system_class(system).capabilities
+    except SystemRegistryError as exc:
+        raise ValueError(str(exc)) from None
+    base = _placement_base(system)
     trainer_gpus, rollout_gpus = placement_for(system, model_size, total_gpus)
     tp = rollout_tensor_parallel(system, model_size)
-    staleness = {"verl": 0, "one_step": 1, "stream_gen": 1, "areal": 10 ** 6, "laminar": 0}[system]
-    max_concurrency = 1024 if system in ("areal", "laminar") else 8192
     config = SystemConfig(
         system=system,
         model_size=model_size,
@@ -148,10 +175,10 @@ def make_system_config(
         trainer_gpus=trainer_gpus,
         rollout_gpus=rollout_gpus,
         rollout_tensor_parallel=tp,
-        trainer_parallel=default_trainer_parallel(model_size, trainer_gpus, system),
-        staleness_bound=staleness,
-        max_concurrency_per_replica=max_concurrency,
-        repack_enabled=(system == "laminar"),
+        trainer_parallel=default_trainer_parallel(model_size, trainer_gpus, base),
+        staleness_bound=capabilities.default_staleness_bound,
+        max_concurrency_per_replica=capabilities.default_max_concurrency,
+        repack_enabled=capabilities.repack,
     )
     if overrides:
         from dataclasses import replace

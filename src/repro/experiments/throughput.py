@@ -16,7 +16,7 @@ component measurements from the same generation engine:
   interrupts all replicas and re-prefills every in-flight trajectory.
 
 Both compositions are documented in DESIGN.md and validated against the full
-event-driven :class:`~repro.core.laminar.LaminarSystem` in the test suite.
+event-driven :class:`~repro.systems.laminar.LaminarSystem` in the test suite.
 """
 
 from __future__ import annotations
@@ -26,9 +26,10 @@ from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
-from ..baselines import make_baseline
+from ..systems import make_system
+from ..systems.base import get_system_class
 from ..config import SystemConfig
-from ..core.relay import RelayService
+from ..systems.relay import RelayService
 from ..llm.training_model import TrainingModel
 from ..metrics.results import SystemRunResult
 from ..sim.network import RDMA_LINK, gpu_direct_global_sync_time
@@ -90,8 +91,8 @@ def _training_time(config: SystemConfig, batch_tokens: float) -> float:
 
 
 def measure_batch_system(config: SystemConfig) -> ThroughputPoint:
-    """Direct simulation of verl / one-step / stream generation."""
-    system = make_baseline(config)
+    """Direct DES simulation of a registered batch/continuous system."""
+    system = make_system(config)
     result = system.run()
     warm = config.warmup_iterations
     breakdown = result.mean_breakdown()
@@ -133,7 +134,7 @@ def measure_laminar(config: SystemConfig, cycle: Optional[BatchCycleProfile] = N
     iteration = max(train_time + actor_stall, supply_time)
     staleness_estimate = cycle.release_time / iteration if iteration > 0 else 0.0
     return ThroughputPoint(
-        system="laminar",
+        system=config.system,
         model_size=config.model_size,
         task_type=config.task_type,
         total_gpus=config.total_gpus,
@@ -188,7 +189,7 @@ def measure_areal(config: SystemConfig, profile: Optional[ContinuousRateProfile]
         iteration = 0.5 * iteration + 0.5 * new_iteration
     supply_time = batch_tokens / max(raw_rate, 1e-9)
     return ThroughputPoint(
-        system="areal",
+        system=config.system,
         model_size=config.model_size,
         task_type=config.task_type,
         total_gpus=config.total_gpus,
@@ -206,6 +207,32 @@ def measure_areal(config: SystemConfig, profile: Optional[ContinuousRateProfile]
     )
 
 
+#: Registered ``SystemCapabilities.throughput_method`` values → evaluators.
+_MEASURERS = {
+    "simulate": measure_batch_system,
+    "laminar_cycle": measure_laminar,
+    "areal_fixed_point": measure_areal,
+}
+
+
+def measure_config(config: SystemConfig) -> ThroughputPoint:
+    """Evaluate one configuration with its system's declared method.
+
+    The registered class's ``capabilities.throughput_method`` selects direct
+    DES simulation, the Laminar batch-cycle composition, or the AReaL
+    continuous-rate fixed point.
+    """
+    method = get_system_class(config.system).capabilities.throughput_method
+    try:
+        measurer = _MEASURERS[method]
+    except KeyError:
+        raise ValueError(
+            f"system {config.system!r} declares unknown throughput method "
+            f"{method!r}; known: {sorted(_MEASURERS)}"
+        ) from None
+    return measurer(config)
+
+
 def measure_point(system: str, model_size: str, total_gpus: int, task_type: str = "math",
                   batch_scale: float = DEFAULT_BATCH_SCALE, seed: int = 0,
                   num_iterations: int = 3, warmup_iterations: int = 1) -> ThroughputPoint:
@@ -214,11 +241,7 @@ def measure_point(system: str, model_size: str, total_gpus: int, task_type: str 
     if batch_scale < 1.0:
         config = config.scaled(batch_scale)
     config = replace(config, num_iterations=num_iterations, warmup_iterations=warmup_iterations)
-    if system == "laminar":
-        return measure_laminar(config)
-    if system == "areal":
-        return measure_areal(config)
-    return measure_batch_system(config)
+    return measure_config(config)
 
 
 def throughput_sweep(

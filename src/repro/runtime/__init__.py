@@ -1,8 +1,8 @@
-"""Shared runtime layer: one workload, one engine, five orchestrations.
+"""Shared runtime layer: one workload, one engine, every orchestration.
 
 ``repro.runtime`` is the layer between the discrete-event engine
-(:mod:`repro.sim.engine`) and the systems (:mod:`repro.core`,
-:mod:`repro.baselines`).  It provides:
+(:mod:`repro.sim.engine`) and the registered systems
+(:mod:`repro.systems`).  It provides:
 
 * :class:`WorkloadBundle` — identically-seeded construction of the shared
   workload objects (dataset, factory, environment, decode model, trainer,
@@ -10,34 +10,35 @@
 * :class:`CompletionPipeline` and the weight-sync components
   (:class:`GlobalWeightSync`, :class:`RelayWeightSync`) — the per-completion
   and per-update plumbing shared across systems;
-* the DES harness (:func:`drain_replica`, :func:`generation_barrier`,
-  :func:`replica_driver`, :class:`ReplicaFleet`) — replicas as engine
-  processes, with ``AllOf`` joins for the baselines' barriers and
-  interruptible drivers for the continuous systems;
-* :class:`LaminarRuntime` — the event-driven Laminar main loop (trainer,
-  rollout-manager, failure/recovery and per-replica driver processes).
+* the DES harness — replicas as engine processes: plain and anchored drains
+  (:func:`drain_replica`, :func:`drain_replica_anchored`) joined by the
+  ``AllOf`` :func:`generation_barrier` for the batch-synchronous systems,
+  and interruptible drivers (:func:`replica_driver`, :class:`ReplicaFleet`)
+  for the continuous ones.
 """
 
 from .components import CompletionPipeline, GlobalWeightSync, RelayWeightSync
 from .harness import (
+    EventBox,
     GenerationOutcome,
     ReplicaFleet,
     drain_replica,
+    drain_replica_anchored,
     generation_barrier,
     replica_driver,
 )
-from .laminar_runtime import LaminarRuntime
 from .workload import WorkloadBundle
 
 __all__ = [
     "CompletionPipeline",
+    "EventBox",
     "GenerationOutcome",
     "GlobalWeightSync",
-    "LaminarRuntime",
     "RelayWeightSync",
     "ReplicaFleet",
     "WorkloadBundle",
     "drain_replica",
+    "drain_replica_anchored",
     "generation_barrier",
     "replica_driver",
 ]

@@ -27,9 +27,9 @@ from ..sim.cluster import GPUS_PER_MACHINE
 from ..sim.network import LinkSpec, RDMA_LINK, gpu_direct_global_sync_time
 from ..types import Trajectory
 
-if TYPE_CHECKING:  # pragma: no cover - the runtime layer sits below repro.core
-    from ..core.relay import PullRecord, RelayService, WeightPublication
-    from ..core.staleness import StalenessTracker
+if TYPE_CHECKING:  # pragma: no cover - the runtime layer sits below repro.systems
+    from ..systems.relay import PullRecord, RelayService, WeightPublication
+    from ..systems.staleness import StalenessTracker
 
 
 @dataclass
@@ -93,7 +93,7 @@ class RelayWeightSync:
 
     @classmethod
     def from_config(cls, config: SystemConfig, model: ModelSpec) -> "RelayWeightSync":
-        from ..core.relay import RelayService  # deferred: runtime sits below core
+        from ..systems.relay import RelayService  # deferred: runtime sits below systems
 
         machines = max(1, config.rollout_gpus // GPUS_PER_MACHINE)
         return cls(

@@ -1,15 +1,20 @@
 """Event-driven harness that runs rollout replicas as ``sim.engine`` processes.
 
-Two execution shapes cover all five systems:
+Two execution shapes cover every registered system (:mod:`repro.systems`):
 
-* **Batch generation behind a barrier** (verl, one-step, stream generation):
-  each replica is drained to completion by :func:`drain_replica` and the
-  batch's global barrier is an :class:`~repro.sim.engine.AllOf` join over the
-  replica processes (:func:`generation_barrier`).  Per-replica results are
+* **Batch generation behind a barrier** (verl, one-step, stream generation,
+  semi-sync): each replica is drained to completion and the batch's global
+  barrier is an :class:`~repro.sim.engine.AllOf` join over the replica
+  processes (:func:`generation_barrier`).  Per-replica results are
   byte-identical to driving the replica with
   :meth:`ReplicaGenerationState.run_to_completion`, because the process
   performs exactly the same ``next_event_in`` / ``advance`` call sequence —
-  the engine merely interleaves independent replicas on one clock.
+  the engine merely interleaves independent replicas on one clock.  Two
+  drain modes exist: the plain :func:`drain_replica` sleeps relative
+  timeouts, while :func:`drain_replica_anchored` lands every wake-up at
+  ``origin + local clock`` exactly and can stream completions at their
+  precise finish instants — the mode the pipelined systems build their pure
+  event-time iteration clocks on.
 
 * **Continuous generation** (AReaL, Laminar): every replica has a long-lived
   :func:`replica_driver` process that sleeps until the replica's own next
@@ -24,7 +29,7 @@ Two execution shapes cover all five systems:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional, Sequence
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -84,18 +89,127 @@ def drain_replica(env: Environment, replica: ReplicaGenerationState) -> Generato
     return replica.clock - start, list(unique.values())
 
 
-def generation_barrier(env: Environment, replicas: Sequence[ReplicaGenerationState]) -> Generator:
+class EventBox:
+    """One-slot broadcast event: processes sleep on :meth:`wait`, and
+    :meth:`notify` wakes every current waiter at once.
+
+    The box swaps in a fresh event *before* succeeding the old one, so a
+    waiter re-yielding inside the same wake-up chain sleeps on the next
+    occurrence instead of the already-fired event (the lost-wakeup idiom
+    shared by the fleet wake-ups and the producer/consumer variants).
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._event: Event = env.event()
+
+    def wait(self) -> Event:
+        return self._event
+
+    def notify(self) -> None:
+        event, self._event = self._event, self.env.event()
+        event.succeed()
+
+
+#: Streamed-completion callback: ``(replica_position, completed)`` delivered
+#: at the exact simulated instant the trajectories finished.
+CompletionObserver = Callable[[int, List[Trajectory]], None]
+
+
+def drain_replica_anchored(
+    env: Environment,
+    replica: ReplicaGenerationState,
+    origin: float,
+    on_complete: Optional[CompletionObserver] = None,
+    replica_pos: int = 0,
+) -> Generator:
+    """Anchored variant of :func:`drain_replica`: the replica's local clock is
+    authoritative and every engine wake-up lands at ``origin + clock`` exactly
+    (:meth:`Environment.timeout_until`, no ``now + delay`` rounding).
+
+    The synchronous systems define their stage clocks relative to the stage
+    origin, so the barrier's join time is bit-identical to the per-replica
+    local arithmetic: ``max_r fl(origin + clock_r)`` equals
+    ``fl(origin + max_r clock_r)`` because rounding is monotone.
+
+    ``on_complete`` additionally streams completions at their *exact* finish
+    instants (``origin + finish_time``), including completions that fall
+    strictly inside an advance window — the event feed the streaming
+    mini-batch trainer clocks itself on.
+    """
+    start = replica.clock
+    completed: List[Trajectory] = []
+    seen: Dict[int, Trajectory] = {}
+
+    def publisher(at: float, batch: List[Trajectory]) -> Generator:
+        yield env.timeout_until(at)
+        on_complete(replica_pos, batch)
+
+    def publish(done: List[Trajectory]) -> List[Trajectory]:
+        fresh = [t for t in done if t.traj_id not in seen]
+        for t in fresh:
+            seen[t.traj_id] = t
+        if fresh and on_complete is not None:
+            # One publication event per distinct finish instant, in order.
+            groups: List[Tuple[float, List[Trajectory]]] = []
+            for t in fresh:
+                if groups and groups[-1][0] == t.finish_time:
+                    groups[-1][1].append(t)
+                else:
+                    groups.append((t.finish_time, [t]))
+            for finish, batch in groups:
+                at = origin + finish
+                if at <= env.now:
+                    on_complete(replica_pos, batch)
+                else:
+                    env.process(publisher(at, batch),
+                                name=f"publish-{replica.replica_id}")
+        return fresh
+
+    while replica.num_sequences:
+        delta = replica.next_event_in()
+        if delta is None:
+            break
+        done = replica.advance(delta)
+        completed.extend(publish(done))
+        yield env.timeout_until(origin + replica.clock)
+    completed.extend(publish(replica.drain_completed()))
+    return replica.clock - start, completed
+
+
+def generation_barrier(
+    env: Environment,
+    replicas: Sequence[ReplicaGenerationState],
+    origin: Optional[float] = None,
+    on_complete: Optional[CompletionObserver] = None,
+) -> Generator:
     """Sub-process: run every replica to completion behind an ``AllOf`` join.
 
     This is the global barrier of the batch-synchronous systems: the batch is
     done only when the slowest replica's process terminates.  Trajectories are
     collected replica-major (replica 0's completions first), matching the
     scoring order the reward RNG stream depends on.
+
+    With ``origin`` set, the replicas run as anchored drains
+    (:func:`drain_replica_anchored`): their wake-ups land at
+    ``origin + local clock`` and completions may be streamed to
+    ``on_complete`` at their exact finish instants — the mode the pipelined
+    systems use so the barrier's join time equals the local stage arithmetic
+    bit for bit.
     """
-    processes = [
-        env.process(drain_replica(env, replica), name=f"drain-{replica.replica_id}")
-        for replica in replicas
-    ]
+    if origin is None:
+        processes = [
+            env.process(drain_replica(env, replica), name=f"drain-{replica.replica_id}")
+            for replica in replicas
+        ]
+    else:
+        processes = [
+            env.process(
+                drain_replica_anchored(env, replica, origin, on_complete, pos),
+                name=f"drain-{replica.replica_id}",
+            )
+            for pos, replica in enumerate(replicas)
+        ]
     if processes:
         yield env.all_of(processes)
     per_replica_time: List[float] = []
@@ -130,8 +244,8 @@ class ReplicaFleet:
     def __init__(self, env: Environment) -> None:
         self.env = env
         self._drivers: Dict[int, Process] = {}
-        self._refill_event: Event = env.event()
-        self._data_event: Event = env.event()
+        self._refill_box = EventBox(env)
+        self._data_box = EventBox(env)
 
     # -- driver lifecycle ---------------------------------------------------
     def spawn(self, replica_id: int) -> Process:
@@ -157,21 +271,19 @@ class ReplicaFleet:
     # -- wake-up signals ----------------------------------------------------
     def refill_signal(self) -> Event:
         """Event a driver sleeps on when its replica has no work and no budget."""
-        return self._refill_event
+        return self._refill_box.wait()
 
     def data_event(self) -> Event:
         """Event a trainer sleeps on while waiting for buffered experiences."""
-        return self._data_event
+        return self._data_box.wait()
 
     def notify_refill(self) -> None:
         """Wake every driver blocked on the refill signal (budget freed)."""
-        event, self._refill_event = self._refill_event, self.env.event()
-        event.succeed()
+        self._refill_box.notify()
 
     def notify_data(self) -> None:
         """Wake the trainer: the experience buffer can satisfy a batch."""
-        event, self._data_event = self._data_event, self.env.event()
-        event.succeed()
+        self._data_box.notify()
 
     # -- policy hooks (subclass responsibility) ------------------------------
     def replica(self, replica_id: int) -> Optional[ReplicaGenerationState]:

@@ -155,6 +155,29 @@ class Timeout(Event):
         env._schedule(self, delay=delay)
 
 
+class TimeoutUntil(Event):
+    """An event that fires at an absolute simulated time.
+
+    Unlike ``Timeout(target - env.now)``, the event lands on ``at`` exactly
+    (no ``now + delay`` rounding), which is what lets anchored processes —
+    ones whose wake-ups are derived from a local clock as ``origin + local``
+    — keep their event times bit-identical to the local arithmetic.  ``at``
+    may equal the current time (fires this instant, FIFO-ordered after
+    already-scheduled same-time events) but must not lie in the past.
+    """
+
+    def __init__(self, env: "Environment", at: float, value: Any = None) -> None:
+        if at < env.now:
+            raise SimulationError(
+                f"timeout_until({at!r}) lies in the past (now={env.now!r})"
+            )
+        super().__init__(env)
+        self.at = at
+        self._ok = True
+        self._value = value
+        env._schedule_at(self, at)
+
+
 class ConditionError(SimulationError):
     """Raised when a sub-event of a condition fails."""
 
@@ -371,6 +394,9 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
+    def timeout_until(self, at: float, value: Any = None) -> TimeoutUntil:
+        return TimeoutUntil(self, at, value)
+
     def process(self, generator: Generator, name: str = "") -> Process:
         return Process(self, generator, name=name)
 
@@ -383,6 +409,10 @@ class Environment:
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
         heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def _schedule_at(self, event: Event, at: float, priority: int = 1) -> None:
+        """Schedule ``event`` at the absolute time ``at`` (no ``now +`` rounding)."""
+        heapq.heappush(self._queue, (at, priority, next(self._eid), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""

@@ -23,7 +23,7 @@ from ..rollout.generation import ReplicaGenerationState
 from ..runtime.harness import ReplicaFleet
 from ..sim.engine import Environment
 from ..types import Trajectory
-from .base import BaselineSystem
+from .base import System, SystemCapabilities, register
 
 
 class _ContinuousFleet(ReplicaFleet):
@@ -49,16 +49,21 @@ class _ContinuousFleet(ReplicaFleet):
         system._top_up(replica)
 
 
-class PartialRollout(BaselineSystem):
+@register
+class PartialRollout(System):
     """Continuous generation with pause-and-sync partial rollouts (AReaL)."""
 
     name = "areal"
-
-    #: Bound on run-ahead: stop admitting new prompts once the buffered plus
-    #: in-flight trajectories exceed this many global batches.  Keeps staleness
-    #: (and the simulated warm-up transient) bounded, mirroring the data
-    #: freshness controls production systems apply on top of partial rollout.
-    run_ahead_batches: float = 3.0
+    capabilities = SystemCapabilities(
+        description="AReaL partial rollout: continuous generation, "
+                    "pause-and-sync weight updates, unbounded staleness",
+        continuous=True,
+        weight_sync="global",
+        staleness="unbounded",
+        default_staleness_bound=10 ** 6,
+        default_max_concurrency=1024,
+        throughput_method="areal_fixed_point",
+    )
 
     def __init__(self, config) -> None:
         super().__init__(config)
@@ -83,13 +88,7 @@ class PartialRollout(BaselineSystem):
         return self._target_inflight
 
     def _run_ahead_budget(self) -> int:
-        """Trajectories that may still be admitted before hitting the run-ahead cap."""
-        in_flight = sum(r.num_sequences for r in self.replicas)
-        # Never starve the natural generation pipeline: each replica may always
-        # hold a bit more than its concurrency target.
-        pipeline_floor = int(1.25 * len(self.replicas) * self._concurrency_target())
-        cap = max(int(self.run_ahead_batches * self.config.global_batch_size), pipeline_floor)
-        return max(0, cap - in_flight - len(self.buffer))
+        return self.run_ahead_budget(self.replicas, self._concurrency_target())
 
     def _top_up(self, replica: ReplicaGenerationState) -> None:
         deficit = self._concurrency_target() - replica.num_sequences
@@ -103,8 +102,8 @@ class PartialRollout(BaselineSystem):
         replica.add_sequences(states)
 
     # ------------------------------------------------------------------ main loop
-    def _run_process(self, env: Environment, result: SystemRunResult,
-                     num_iterations: int) -> Generator:
+    def build(self, env: Environment, result: SystemRunResult,
+              num_iterations: int) -> Generator:
         sync_time = self.global_sync_time()
         self.replicas = self.make_replicas(self.num_generation_replicas(), weight_version=0)
         fleet = _ContinuousFleet(env, self)

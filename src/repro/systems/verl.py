@@ -2,9 +2,10 @@
 
 All GPUs alternate between the generation and training stages (§2.2, Fig 3a):
 generate the full global batch, switch the engines, train on it, switch back.
-Stage times add up, and the generation stage — an ``AllOf`` join over the
-replica processes — ends only when the single slowest long-tail trajectory
-completes: the bubbles Laminar removes.
+The stages run strictly in sequence on the event clock — the generation stage
+is an ``AllOf`` join over the replica processes and ends only when the single
+slowest long-tail trajectory completes (the bubbles Laminar removes), and the
+switch/training stages are plain timeouts on the same environment.
 """
 
 from __future__ import annotations
@@ -13,16 +14,26 @@ from typing import Generator
 
 from ..metrics.results import StageBreakdown, SystemRunResult
 from ..sim.engine import Environment
-from .base import BaselineSystem, COLOCATED_SWITCH_OVERHEAD
+from .base import COLOCATED_SWITCH_OVERHEAD, System, SystemCapabilities, register
 
 
-class VerlSynchronous(BaselineSystem):
+@register
+class VerlSynchronous(System):
     """Fully synchronous, on-policy, colocated RL training."""
 
     name = "verl"
+    capabilities = SystemCapabilities(
+        description="verl v0.5: fully synchronous, on-policy, colocated "
+                    "(HybridEngine) RL training",
+        colocated=True,
+        weight_sync="switch",
+        staleness="on_policy",
+        default_staleness_bound=0,
+        default_max_concurrency=8192,
+    )
 
-    def _run_process(self, env: Environment, result: SystemRunResult,
-                     num_iterations: int) -> Generator:
+    def build(self, env: Environment, result: SystemRunResult,
+              num_iterations: int) -> Generator:
         for _ in range(num_iterations):
             start = env.now
             # --- generation stage: all GPUs act as rollout replicas ------------

@@ -32,6 +32,7 @@ from repro.bench.exec import (
 )
 from repro.bench.registry import get_scenario
 from repro.bench.runner import UnitResult, execute_unit
+from repro.bench.store import save_artifact
 
 
 def _tiny_scenario(scenario_id="exec_test_scenario", **kwargs):
@@ -432,3 +433,40 @@ def test_worker_max_units_drains_and_exits(tiny_scenario):
         assert first.wait(timeout=30) == 0  # left after its single unit
         assert second.wait(timeout=30) == 0
     assert all(u.status == "ok" for r in queued for u in r.units)
+
+
+def test_cli_compare_rerun_through_queue_backend(tiny_scenario, tmp_path, capsys):
+    """`repro-bench compare --backend queue --connect ...`: the compare
+    re-run executes on the distributed backend (one coordinator + one CLI
+    worker) and gates bit-identically against the serial baseline."""
+    artifact = str(tmp_path / "BENCH_queue_compare.json")
+    assert bench_main(["run", "--scenario", tiny_scenario.id,
+                       "--export", artifact]) == 0
+    capsys.readouterr()
+    with Coordinator() as coordinator:
+        host, port = coordinator.address
+        worker = _spawn_worker(host, port, jobs=2)
+        try:
+            code = bench_main([
+                "compare", "--baseline", artifact,
+                "--backend", "queue", "--connect", f"{host}:{port}",
+                "--tolerance", "0",
+            ])
+        finally:
+            coordinator.close()
+            assert worker.wait(timeout=30) == 0
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "re-running 1 scenario(s)" in out
+    assert "no regression" in out
+
+
+def test_cli_compare_backend_flags_validated(tmp_path, capsys):
+    # --backend applies to re-runs only; artifact-vs-artifact comparisons
+    # must reject it instead of silently ignoring the flag.
+    artifact = str(tmp_path / "b.json")
+    save_artifact([], artifact)
+    code = bench_main(["compare", "--baseline", artifact,
+                       "--candidate", artifact, "--backend", "queue"])
+    assert code == 2
+    assert "re-runs only" in capsys.readouterr().err

@@ -284,3 +284,145 @@ def test_cli_run_budget_gate(cheap_scenario, capsys):
     out = capsys.readouterr().out
     assert failed == 1
     assert "EXCEEDED" in out
+
+
+# --------------------------------------------------------------------------- true bisection
+def _step(before=1.0, after=2.0):
+    from repro.bench.trend import MetricStep
+
+    return MetricStep(
+        scenario_id="s", series_label="laminar:32B/128gpu",
+        metric="relay_speedup_vs_gpu_direct", before=before, after=after,
+        from_rev="aaa0000", to_rev="fff0000",
+        from_created="2099-01-01", to_created="2099-02-01",
+    )
+
+
+def test_bisect_commits_tightens_range_to_single_commit():
+    from repro.bench.trend import bisect_commits
+
+    # Newest first, like `git log --oneline from..to`; the regression landed
+    # in commit c3.
+    commits = [f"c{i} subject {i}" for i in (5, 4, 3, 2, 1)]
+    values = {"c1": 1.0, "c2": 1.0, "c3": 2.0, "c4": 2.0, "c5": 2.0}
+    runs = []
+
+    def run_metric(revision):
+        runs.append(revision)
+        return values[revision]
+
+    outcome = bisect_commits(_step(), commits, run_metric)
+    assert outcome.culprit == "c3 subject 3"
+    # True bisection: log2(5) ~ 2-3 re-runs, not a linear scan.
+    assert 1 <= len(runs) <= 3
+    assert [r for r, _ in outcome.tested] == runs
+
+
+def test_bisect_commits_single_commit_range_needs_no_reruns():
+    from repro.bench.trend import bisect_commits
+
+    outcome = bisect_commits(_step(), ["c9 the only one"], lambda rev: 0.0)
+    assert outcome.culprit == "c9 the only one"
+    assert outcome.tested == []
+
+
+def test_bisect_commits_falls_back_when_a_midpoint_cannot_run():
+    from repro.bench.trend import bisect_commits, render_bisect
+
+    commits = [f"c{i} s" for i in (4, 3, 2, 1)]
+    outcome = bisect_commits(_step(), commits, lambda rev: None)
+    assert outcome.culprit is None
+    assert "could not re-run" in outcome.note
+    report = render_bisect(_step(), commits, outcome)
+    assert "4 commit(s)" in report and "could not re-run" in report
+
+
+def test_render_bisect_reports_culprit_and_probes():
+    from repro.bench.trend import BisectOutcome, render_bisect
+
+    outcome = BisectOutcome(culprit="c3 subject 3", tested=[("c2", 1.0)])
+    report = render_bisect(_step(), ["c3 subject 3", "c2 s"], outcome)
+    assert "bisected to a single commit" in report
+    assert "c3 subject 3" in report and "re-ran at c2: 1" in report
+
+
+def test_run_scenario_at_revision_survives_bad_revision(tmp_path, monkeypatch):
+    from repro.bench.trend import run_scenario_at_revision
+
+    monkeypatch.chdir(tmp_path)  # not a checkout: worktree add fails cleanly
+    assert run_scenario_at_revision(
+        "definitely-not-a-rev", "throughput_smoke", "verl:7B/16gpu",
+        "throughput_tok_s",
+    ) is None
+
+
+# --------------------------------------------------------------------------- system CLI surface
+def test_cli_list_systems_renders_capability_table(capsys):
+    assert bench_main(["list", "--systems", "-v"]) == 0
+    out = capsys.readouterr().out
+    for name in ("verl", "one_step", "stream_gen", "areal", "laminar",
+                 "laminar_norepack", "semi_sync"):
+        assert name in out
+    assert "weight-sync" in out and "repack" in out
+
+
+def test_cli_run_unknown_system_fails_with_registered_names(capsys):
+    code = bench_main(["run", "--scenario", "throughput_smoke",
+                       "--system", "nope", "--no-save"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "unknown system 'nope'" in err
+    assert "laminar" in err and "semi_sync" in err
+
+
+def test_cli_run_system_filter_restricts_the_grid(cheap_scenario, capsys):
+    # The weight_sync fixture scenario only evaluates laminar; filtering to a
+    # system no selected scenario evaluates is an explicit error...
+    code = bench_main(["run", "--scenario", cheap_scenario.id,
+                       "--system", "verl", "--no-save"])
+    assert code == 2
+    assert "no selected scenario evaluates" in capsys.readouterr().err
+    # ...while filtering to a subset runs only that subset.
+    code = bench_main(["run", "--scenario", cheap_scenario.id,
+                       "--system", "laminar", "--no-save"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "laminar:32B/128gpu" in out
+
+
+def test_cli_run_system_filter_preserves_unit_seeds(tmp_path, capsys):
+    """The --system filter drops units after grid expansion, so a surviving
+    unit keeps its original grid-index seed and its metrics are bit-identical
+    to the same unit in a full-grid run (a filtered --compare against a
+    full-grid baseline must gate at delta 0.000)."""
+    artifact = str(tmp_path / "BENCH_full_grid.json")
+    assert bench_main(["run", "--scenario", "semi_sync",
+                       "--export", artifact]) == 0
+    capsys.readouterr()
+    # semi_sync is grid index 1 of the scenario; filtering must not renumber
+    # it to index 0 (which would shift its seed and fail the zero-tolerance
+    # gate).
+    code = bench_main(["run", "--scenario", "semi_sync", "--system", "semi_sync",
+                       "--compare", "--baseline", artifact, "--tolerance", "0",
+                       "--no-save"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "within-tolerance" in out and "no regression" in out
+
+
+def test_cli_run_system_filter_never_saves_partial_default_artifacts(
+        tmp_path, capsys, monkeypatch):
+    """A --system run executes a partial grid; persisting it over the
+    canonical BENCH_<id>.json would silently stop gating the dropped units,
+    so default-path saving is suppressed (explicit --export stays allowed)."""
+    monkeypatch.chdir(tmp_path)
+    assert bench_main(["run", "--scenario", "semi_sync",
+                       "--system", "semi_sync"]) == 0
+    out = capsys.readouterr().out
+    assert "not saved" in out
+    assert not (tmp_path / "BENCH_semi_sync.json").exists()
+    export = tmp_path / "partial.json"
+    assert bench_main(["run", "--scenario", "semi_sync", "--system", "semi_sync",
+                       "--export", str(export)]) == 0
+    capsys.readouterr()
+    assert export.exists()

@@ -6,7 +6,7 @@ from dataclasses import replace
 import numpy as np
 import pytest
 
-from repro.core import (
+from repro.systems import (
     FailureEvent,
     FailureInjector,
     FailureKind,
@@ -263,6 +263,36 @@ def test_laminar_survives_rollout_machine_failure():
     record = system.manager.recovery_records[0]
     assert record.trajectories_lost == 0 or record.trajectories_redirected >= 0
     assert record.downtime > 0
+
+
+def test_relay_outage_does_not_rehost_a_failed_machines_replicas():
+    """A relay recovery rebuilds only the relay chain.  With a rollout-machine
+    outage in flight, the relay's (earlier-finishing) recovery must not hand
+    the dead machine's replica budget to the relay's machine — the replicas
+    come back only when the failed machine itself recovers."""
+    config = make_system_config("laminar", "7B", 64, task_type="math").scaled(1 / 32)
+    config = replace(config, num_iterations=12, warmup_iterations=0)
+    injector = FailureInjector()
+    injector.add(FailureEvent(time=15.0, kind=FailureKind.ROLLOUT_MACHINE, target=0))
+    injector.add(FailureEvent(time=16.0, kind=FailureKind.RELAY, target=1))
+    system = LaminarSystem(config, failure_injector=injector)
+    failed_count = len(
+        [rid for rid, machine in system.replica_machine.items() if machine == 0]
+    )
+    per_machine_cap = system._replicas_per_machine()
+    result = system.run()
+    assert len(result.iterations) == 12
+    # The relay's quick recovery must not have re-hosted machine 0's replica
+    # budget on machine 1: no machine ever hosts more than its own share, and
+    # machine 0's replicas return only via its own recovery (or not at all if
+    # the run ends first).
+    per_machine = {}
+    for machine in system.replica_machine.values():
+        per_machine[machine] = per_machine.get(machine, 0) + 1
+    assert all(count <= per_machine_cap for count in per_machine.values())
+    assert per_machine.get(0, 0) in (0, failed_count)
+    # The relay chain itself did come back.
+    assert system.relay.latest_version() >= 1
 
 
 def _trainer_failure_run(failure_time=None, num_iterations=2):

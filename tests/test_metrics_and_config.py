@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import SystemConfig, default_trainer_parallel
-from repro.core import optimal_chunks, broadcast_latency
+from repro.systems import optimal_chunks, broadcast_latency
 from repro.llm import QWEN_32B
 from repro.metrics import EventCounterSeries, TimeSeries, moving_average
 from repro.sim.network import RDMA_SINGLE_NIC_LINK, chain_pipelined_broadcast_time

@@ -7,8 +7,7 @@ from dataclasses import replace
 import numpy as np
 import pytest
 
-from repro.baselines import VerlSynchronous, make_baseline
-from repro.core import LaminarSystem
+from repro.systems import LaminarSystem, VerlSynchronous, make_system
 from repro.experiments import make_system_config
 from repro.runtime import (
     CompletionPipeline,
@@ -139,7 +138,7 @@ def test_generation_barrier_is_reusable_within_one_environment():
 # --------------------------------------------------------------------------- event-driven systems
 def test_all_five_systems_run_on_the_event_engine():
     for name in ("verl", "one_step", "stream_gen", "areal"):
-        result = make_baseline(quick_config(name)).run()
+        result = make_system(quick_config(name)).run()
         assert len(result.iterations) == 2, name
         assert result.wall_clock > 0, name
     result = LaminarSystem(quick_config("laminar")).run()
@@ -177,7 +176,7 @@ def test_laminar_event_driven_run_matches_legacy_behaviour_envelope():
 
 
 def test_areal_event_driven_continuous_generation():
-    system = make_baseline(quick_config("areal", iters=3))
+    system = make_system(quick_config("areal", iters=3))
     result = system.run()
     assert len(result.iterations) == 3
     assert result.extras["total_reprefill_stall"] > 0

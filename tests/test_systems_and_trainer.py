@@ -4,13 +4,13 @@ from dataclasses import replace
 
 import pytest
 
-from repro.baselines import (
-    BASELINE_REGISTRY,
+from repro.systems import (
     OneStepStaleness,
     PartialRollout,
     StreamGeneration,
     VerlSynchronous,
-    make_baseline,
+    available_systems,
+    make_system,
 )
 from repro.experiments import make_system_config, placement_for, table2_rows
 from repro.llm import QWEN_7B, fsdp_trainer_config
@@ -97,14 +97,14 @@ def test_scaled_config_preserves_group_size():
 
 
 # --------------------------------------------------------------------------- baselines
-def test_baseline_registry_and_factory():
-    assert set(BASELINE_REGISTRY) == {"verl", "one_step", "stream_gen", "areal"}
-    assert isinstance(make_baseline(quick_config("verl")), VerlSynchronous)
-    assert isinstance(make_baseline(quick_config("areal")), PartialRollout)
+def test_system_registry_and_factory():
+    assert {"verl", "one_step", "stream_gen", "areal", "laminar"} <= set(available_systems())
+    assert isinstance(make_system(quick_config("verl")), VerlSynchronous)
+    assert isinstance(make_system(quick_config("areal")), PartialRollout)
 
 
 def test_verl_is_on_policy_and_serial():
-    result = make_baseline(quick_config("verl")).run()
+    result = make_system(quick_config("verl")).run()
     assert len(result.iterations) == 2
     assert result.mean_staleness() == 0.0
     breakdown = result.mean_breakdown()
@@ -116,7 +116,7 @@ def test_verl_is_on_policy_and_serial():
 
 
 def test_one_step_pipeline_overlaps_and_has_staleness_one():
-    result = make_baseline(quick_config("one_step", iters=3, warm=1)).run()
+    result = make_system(quick_config("one_step", iters=3, warm=1)).run()
     assert result.max_staleness() == 1
     breakdown = result.mean_breakdown()
     assert result.mean_iteration_time(1) < (
@@ -125,7 +125,7 @@ def test_one_step_pipeline_overlaps_and_has_staleness_one():
 
 
 def test_stream_generation_records_minibatch_pipeline():
-    result = make_baseline(quick_config("stream_gen", iters=2)).run()
+    result = make_system(quick_config("stream_gen", iters=2)).run()
     assert len(result.iterations) == 2
     assert result.mean_iteration_time() > 0
     assert result.extras["global_sync_time"] > 0
@@ -144,7 +144,7 @@ def test_partial_rollout_mixes_versions_and_pays_reprefill():
 
 
 def test_long_tail_creates_bubbles_in_synchronous_generation():
-    system = make_baseline(quick_config("verl", scale=1 / 16))
+    system = make_system(quick_config("verl", scale=1 / 16))
     outcome = system.generate_full_batch(weight_version=0)
     # The slowest replica defines the barrier; others idle (Fig 3a bubbles).
     assert outcome.bubble_time > 0
