@@ -21,12 +21,14 @@ The package is organised as:
 * :mod:`repro.experiments` — one driver per table/figure of the evaluation.
 * :mod:`repro.bench` — scenario registry, parallel matrix benchmark runner,
   persisted + regression-gated results (``repro-bench`` CLI).
+* :mod:`repro.obs` — deterministic trace + telemetry layer: simulated-time
+  tracer/recorder, Chrome-trace (Perfetto) export, structured run logging.
 """
 
 from .config import SystemConfig, default_trainer_parallel
 from .types import Experience, Prompt, Trajectory, WeightVersion
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: Benchmark API re-exported lazily (PEP 562) so that ``import repro`` does
 #: not pull in the full experiments stack.
@@ -51,6 +53,18 @@ _BENCH_EXPORTS = (
     "run_worker",
 )
 
+#: Observability API re-exported lazily from :mod:`repro.obs`.
+_OBS_EXPORTS = (
+    "TraceRecorder",
+    "use_tracer",
+    "current_tracer",
+    "chrome_trace",
+    "write_chrome_trace",
+    "summarise_trace",
+    "configure_logging",
+    "get_run_logger",
+)
+
 __all__ = [
     "SystemConfig",
     "default_trainer_parallel",
@@ -59,12 +73,21 @@ __all__ = [
     "Trajectory",
     "WeightVersion",
     "bench",
+    "obs",
     "__version__",
     *_BENCH_EXPORTS,
+    *_OBS_EXPORTS,
 ]
 
 
 def __getattr__(name):
+    if name == "obs" or name in _OBS_EXPORTS:
+        import importlib
+
+        obs = importlib.import_module(".obs", __name__)
+        if name == "obs":
+            return obs
+        return getattr(obs, name)
     if name == "bench" or name in _BENCH_EXPORTS:
         # NOT ``from . import bench``: its fromlist handling probes
         # ``hasattr(repro, "bench")``, which re-enters this __getattr__ and

@@ -33,17 +33,27 @@ from __future__ import annotations
 
 import argparse
 import glob
+import json
 import os
 import sys
 import time
 from typing import Dict, List, Optional, Sequence
 
+from ..obs import (
+    TraceRecorder,
+    configure_logging,
+    get_run_logger,
+    summarise_trace,
+    use_tracer,
+    write_chrome_trace,
+)
 from .compare import DEFAULT_TOLERANCE, compare_runs
 from .exec import (
     BACKENDS,
     DEFAULT_PORT as _DEFAULT_PORT,
     Coordinator,
     QueueBackend,
+    TracingSerialBackend,
     make_backend,
     parse_hostport,
     run_worker,
@@ -65,6 +75,11 @@ from .store import (
     scenario_ids,
 )
 
+#: Status/progress output goes through the structured run log (``repro.*``
+#: loggers) so ``--log-json`` machines it and ``--quiet`` silences it;
+#: deliverables (tables, comparisons, artifact paths) stay plain ``print``.
+_log = get_run_logger("bench.cli")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -72,9 +87,22 @@ def build_parser() -> argparse.ArgumentParser:
         description="Scenario registry + parallel matrix benchmark runner for the "
                     "Laminar reproduction.",
     )
+    # Logging flags live on a parent parser attached to every subcommand (not
+    # the main parser too — argparse would then reset them to defaults after
+    # the subparser runs).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--log-level", choices=("debug", "info", "warning", "error"),
+                        default="info",
+                        help="run-log verbosity (default: info)")
+    common.add_argument("--log-json", action="store_true",
+                        help="emit run-log lines as JSON objects (one per line)")
+    common.add_argument("-q", "--quiet", action="store_true",
+                        help="silence progress/status output (results, "
+                             "comparisons and artifact paths still print)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    list_cmd = sub.add_parser("list", help="list registered scenarios (or systems)")
+    list_cmd = sub.add_parser("list", parents=[common],
+                              help="list registered scenarios (or systems)")
     list_cmd.add_argument("--tag", action="append", default=[],
                           help="only scenarios carrying this tag (repeatable)")
     list_cmd.add_argument("--systems", action="store_true",
@@ -83,7 +111,8 @@ def build_parser() -> argparse.ArgumentParser:
     list_cmd.add_argument("-v", "--verbose", action="store_true",
                           help="include scenario (or system) descriptions")
 
-    run_cmd = sub.add_parser("run", help="run scenarios and persist results")
+    run_cmd = sub.add_parser("run", parents=[common],
+                             help="run scenarios and persist results")
     run_cmd.add_argument("--scenario", action="append", default=[], metavar="PATTERN",
                          help="scenario id, glob, substring or tag (repeatable; "
                               "default: 'smoke')")
@@ -127,8 +156,37 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--budget", type=float, default=None, metavar="SECONDS",
                          help="fail (exit 1) if the whole run's wall-clock "
                               "exceeds SECONDS — the CI engine-speed gate")
+    run_cmd.add_argument("--trace", metavar="PATH", default=None,
+                         help="attach a trace recorder to every unit (forces "
+                              "the serial backend) and write a merged "
+                              "Chrome-trace/Perfetto timeline to PATH; results "
+                              "are bit-identical to an untraced run")
+    run_cmd.add_argument("--profile-json", metavar="PATH", default=None,
+                         help="write per-unit cProfile hotspots as machine-"
+                              "readable JSON to PATH (implies --profile 25 "
+                              "when --profile is absent; never merged into "
+                              "BENCH artifacts)")
 
-    cmp_cmd = sub.add_parser("compare", help="gate a run against a baseline artifact")
+    trace_cmd = sub.add_parser(
+        "trace", parents=[common],
+        help="run scenario units under a trace recorder and export a "
+             "Perfetto-loadable Chrome-trace timeline (simulated time)")
+    trace_cmd.add_argument("scenario", metavar="PATTERN",
+                           help="scenario id, glob, substring or tag")
+    trace_cmd.add_argument("--unit", action="append", type=int, default=[],
+                           metavar="K",
+                           help="grid index to trace within each selected "
+                                "scenario (repeatable; default: 0)")
+    trace_cmd.add_argument("--all-units", action="store_true",
+                           help="trace every unit of each selected scenario")
+    trace_cmd.add_argument("--system", action="append", default=[], metavar="NAME",
+                           help="restrict to these registered systems "
+                                "(repeatable)")
+    trace_cmd.add_argument("-o", "--output", default="trace.json", metavar="PATH",
+                           help="output trace file (default: trace.json)")
+
+    cmp_cmd = sub.add_parser("compare", parents=[common],
+                             help="gate a run against a baseline artifact")
     cmp_cmd.add_argument("--baseline", required=True, action="append", metavar="PATH",
                          help="baseline artifact(s) (repeatable; merged)")
     cmp_cmd.add_argument("--candidate", action="append", default=[], metavar="PATH",
@@ -151,8 +209,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help=f"relative regression tolerance (default: {DEFAULT_TOLERANCE})")
 
     trend_cmd = sub.add_parser(
-        "trend", help="per-scenario wall-clock + primary-metric history over "
-                      "merged artifact runs (sparklines)")
+        "trend", parents=[common],
+        help="per-scenario wall-clock + primary-metric history over "
+             "merged artifact runs (sparklines)")
     trend_cmd.add_argument("artifacts", nargs="*", metavar="PATH",
                            help="artifact files (default: BENCH_*.json in the "
                                 "current directory)")
@@ -176,8 +235,9 @@ def build_parser() -> argparse.ArgumentParser:
                                 "stays range-only)")
 
     serve_cmd = sub.add_parser(
-        "serve", help="standalone coordinator: accepts repro-bench workers and "
-                      "remote `run --backend queue --connect` drivers")
+        "serve", parents=[common],
+        help="standalone coordinator: accepts repro-bench workers and "
+             "remote `run --backend queue --connect` drivers")
     serve_cmd.add_argument("--bind", metavar="HOST:PORT",
                            default=f"127.0.0.1:{_DEFAULT_PORT}",
                            help=f"listen address (default: 127.0.0.1:{_DEFAULT_PORT})")
@@ -192,8 +252,9 @@ def build_parser() -> argparse.ArgumentParser:
                                 "requeued (default: 30)")
 
     worker_cmd = sub.add_parser(
-        "worker", help="worker agent: leases units from a coordinator and "
-                       "executes them in a local sub-pool")
+        "worker", parents=[common],
+        help="worker agent: leases units from a coordinator and "
+             "executes them in a local sub-pool")
     worker_cmd.add_argument("--connect", required=True, metavar="HOST:PORT",
                             help="coordinator address")
     worker_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -212,7 +273,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _progress(unit: UnitResult) -> None:
     marker = "ok" if unit.status == "ok" else unit.status.upper()
-    print(f"  [{marker}] {unit.scenario_id} {unit.label}", flush=True)
+    _log.info("unit_done", message=f"  [{marker}] {unit.scenario_id} {unit.label}",
+              scenario=unit.scenario_id, unit=unit.label, status=unit.status)
 
 
 def _baseline_paths(args: argparse.Namespace, scenarios: Sequence[ScenarioConfig]) -> List[str]:
@@ -285,20 +347,20 @@ def _run_backend(args: argparse.Namespace):
             raise ValueError("--bind/--connect require --backend queue")
         return make_backend(args.backend, jobs=args.jobs,
                             profile_top=profile), None
+    queue_log = lambda m: _log.info("queue", message=f"  [queue] {m}")  # noqa: E731
     if args.connect:
         if args.bind:
             raise ValueError("--bind and --connect are mutually exclusive")
-        return make_backend("queue", connect=args.connect,
-                            log=lambda m: print(f"  [queue] {m}", flush=True)), None
+        return make_backend("queue", connect=args.connect, log=queue_log), None
     # Embedded coordinator: start it before the run so the attach address is
     # printed while workers can still join.
     host, port = parse_hostport(args.bind or f"127.0.0.1:{_DEFAULT_PORT}")
-    coordinator = Coordinator(
-        host=host, port=port, log=lambda m: print(f"  [queue] {m}", flush=True)
-    ).start()
+    coordinator = Coordinator(host=host, port=port, log=queue_log).start()
     host, port = coordinator.address
-    print(f"embedded coordinator on {host}:{port}; attach workers with: "
-          f"repro-bench worker --connect {host}:{port}", flush=True)
+    _log.info("coordinator_embedded",
+              message=f"embedded coordinator on {host}:{port}; attach workers "
+                      f"with: repro-bench worker --connect {host}:{port}",
+              host=host, port=port)
     return QueueBackend(coordinator=coordinator), coordinator
 
 
@@ -315,25 +377,38 @@ def cmd_run(args: argparse.Namespace) -> int:
             # Never clobber a committed full-grid BENCH_<id>.json with a
             # partial grid — the dropped units would silently stop gating.
             # An explicit --export destination remains allowed.
-            print("note: --system runs a partial grid; results are not saved "
-                  "to the default artifact paths (use --export to persist)",
-                  flush=True)
+            _log.info("note", message="note: --system runs a partial grid; "
+                      "results are not saved to the default artifact paths "
+                      "(use --export to persist)")
             args.no_save = True
-    print(f"running {len(scenarios)} scenario(s): "
-          + ", ".join(s.id for s in scenarios), flush=True)
+    _log.info("run_start",
+              message=f"running {len(scenarios)} scenario(s): "
+                      + ", ".join(s.id for s in scenarios),
+              scenarios=[s.id for s in scenarios])
+    if args.profile_json and args.profile is None:
+        args.profile = 25
     if args.profile is not None:
         if args.backend not in (None, "serial"):
             raise ValueError("--profile requires the serial backend")
         if args.jobs > 1:
-            print("note: --profile collects in-process; running with --jobs 1",
-                  flush=True)
+            _log.info("note", message="note: --profile collects in-process; "
+                      "running with --jobs 1")
         if not args.no_save:
             # Profiling inflates the harness wall-clock, and elapsed_s is the
             # engine-speed signal `repro-bench trend` tracks — never let a
             # profiled run pollute the persisted artifacts.
-            print("note: --profile implies --no-save (profiled elapsed_s is "
-                  "not comparable)", flush=True)
+            _log.info("note", message="note: --profile implies --no-save "
+                      "(profiled elapsed_s is not comparable)")
             args.no_save = True
+    recorder: Optional[TraceRecorder] = None
+    if args.trace:
+        if args.backend not in (None, "serial"):
+            raise ValueError("--trace requires the serial backend (the "
+                             "recorder lives in the driver process)")
+        if args.jobs > 1:
+            _log.info("note", message="note: --trace records in-process; "
+                      "running with --jobs 1")
+        recorder = TraceRecorder()
 
     baseline: List[ScenarioResult] = []
     if args.compare:
@@ -349,10 +424,15 @@ def cmd_run(args: argparse.Namespace) -> int:
             for result in baseline:
                 result.units = [u for u in result.units if u.system in keep]
         if not baseline:
-            print("note: no baseline artifact found; all units will report "
-                  "'no-baseline'", flush=True)
+            _log.info("note", message="note: no baseline artifact found; all "
+                      "units will report 'no-baseline'")
 
     backend, coordinator = _run_backend(args)
+    if recorder is not None:
+        # The tracer only observes, so swapping the serial backend for its
+        # tracing twin cannot change any result — the --compare --tolerance 0
+        # CI leg exists to prove exactly that.
+        backend = TracingSerialBackend(recorder, profile_top=args.profile)
     run_started = time.perf_counter()
     try:
         results = run_scenarios(
@@ -374,6 +454,23 @@ def cmd_run(args: argparse.Namespace) -> int:
                 if unit.profile_text:
                     print(f"\n--- profile: {unit.scenario_id} {unit.label} ---")
                     print(unit.profile_text.rstrip())
+    if args.profile_json:
+        hotspots: Dict[str, Dict[str, object]] = {}
+        for result in results:
+            for unit in result.units:
+                if unit.profile_stats:
+                    hotspots.setdefault(result.scenario_id, {})[unit.label] = (
+                        unit.profile_stats
+                    )
+        with open(args.profile_json, "w", encoding="utf-8") as handle:
+            json.dump({"profile": hotspots}, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.profile_json}")
+    if recorder is not None:
+        payload = write_chrome_trace(recorder, args.trace)
+        print()
+        print(summarise_trace(recorder))
+        print(f"wrote {args.trace} ({len(payload['traceEvents'])} events)")
 
     exit_code = 0 if all(r.status == "ok" for r in results) else 1
     if args.budget is not None:
@@ -407,6 +504,45 @@ def cmd_run(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .runner import system_for_unit
+
+    scenarios = select_scenarios([args.scenario])
+    if args.system:
+        scenarios = _filter_systems(scenarios, args.system)
+    recorder = TraceRecorder()
+    traced = 0
+    for scenario in scenarios:
+        units = scenario.expand()
+        if args.system:
+            keep = set(args.system)
+            units = [u for u in units if u.system in keep]
+        if args.all_units:
+            selected = units
+        else:
+            wanted = args.unit or [0]
+            bad = sorted(k for k in wanted if not 0 <= k < len(units))
+            if bad:
+                raise ValueError(
+                    f"scenario {scenario.id!r} has {len(units)} unit(s); "
+                    f"--unit out of range: {', '.join(map(str, bad))}"
+                )
+            selected = [units[k] for k in wanted]
+        for unit in selected:
+            _log.info("trace_unit",
+                      message=f"tracing {unit.scenario_id} {unit.label}",
+                      scenario=unit.scenario_id, unit=unit.label)
+            recorder.set_group(f"{unit.scenario_id}:{unit.label}")
+            with use_tracer(recorder):
+                system_for_unit(unit).run()
+            traced += 1
+    payload = write_chrome_trace(recorder, args.output)
+    print(summarise_trace(recorder))
+    print(f"\nwrote {args.output} ({traced} unit(s), "
+          f"{len(payload['traceEvents'])} events)")
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     if args.tolerance < 0:
         raise ValueError("--tolerance must be non-negative")
@@ -433,12 +569,13 @@ def cmd_compare(args: argparse.Namespace) -> int:
             try:
                 configs.append(get_scenario(result.scenario_id))
             except KeyError:
-                print(f"note: scenario {result.scenario_id!r} is no longer "
-                      f"registered; skipping re-run", flush=True)
+                _log.info("note", message=f"note: scenario "
+                          f"{result.scenario_id!r} is no longer registered; "
+                          f"skipping re-run")
         baseline = [r for r in baseline if r.scenario_id in {c.id for c in configs}]
         backend, coordinator = _run_backend(args)
-        print(f"re-running {len(configs)} scenario(s) from the baseline artifact",
-              flush=True)
+        _log.info("rerun", message=f"re-running {len(configs)} scenario(s) "
+                  f"from the baseline artifact", scenarios=len(configs))
         try:
             candidate = run_scenarios(configs, jobs=args.jobs, progress=_progress,
                                       backend=backend)
@@ -498,16 +635,17 @@ def cmd_trend(args: argparse.Namespace) -> int:
             # Historical elapsed_s values were recorded on whatever machine
             # produced the artifact; a re-run on this machine cannot be
             # classified against them, so the range is not tightened.
-            print("note: elapsed_s is harness wall-clock (machine-dependent); "
-                  "skipping midpoint re-runs, reporting the range only",
-                  flush=True)
+            _log.info("note", message="note: elapsed_s is harness wall-clock "
+                      "(machine-dependent); skipping midpoint re-runs, "
+                      "reporting the range only")
         if len(commits) > 1 and step.metric != "elapsed_s":
             # Inside a checkout (the range resolved), tighten the range to a
             # single commit by re-running the scenario at range midpoints.
             from .trend import bisect_commits, run_scenario_at_revision
 
-            print(f"bisecting {len(commits)} commits by re-running "
-                  f"{scenario_id} at range midpoints...", flush=True)
+            _log.info("bisect", message=f"bisecting {len(commits)} commits "
+                      f"by re-running {scenario_id} at range midpoints...",
+                      commits=len(commits), scenario=scenario_id)
             outcome = bisect_commits(
                 step, commits,
                 lambda revision: run_scenario_at_revision(
@@ -521,23 +659,25 @@ def cmd_trend(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    serve_log = get_run_logger("bench.serve")
     host, port = parse_hostport(args.bind)
     coordinator = Coordinator(
         host=host, port=port, max_attempts=args.max_attempts,
         heartbeat_s=args.heartbeat, lease_grace_s=args.lease_grace,
-        log=lambda message: print(message, flush=True),
+        log=lambda message: serve_log.info("coordinator", message=message),
     ).start()
     try:
         while True:
             time.sleep(1.0)
     except KeyboardInterrupt:
-        print("\nshutting down", flush=True)
+        serve_log.info("shutdown", message="shutting down")
         return 0
     finally:
         coordinator.close()
 
 
 def cmd_worker(args: argparse.Namespace) -> int:
+    worker_log = get_run_logger("bench.worker")
     if args.jobs <= 0:
         raise ValueError("--jobs must be positive")
     if args.max_units is not None and args.max_units <= 0:
@@ -545,15 +685,21 @@ def cmd_worker(args: argparse.Namespace) -> int:
     host, port = parse_hostport(args.connect)
     return run_worker(
         host, port, jobs=args.jobs, connect_timeout_s=args.connect_timeout,
-        log=lambda message: print(message, flush=True),
+        log=lambda message: worker_log.info("worker", message=message),
         max_units=args.max_units,
     )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"list": cmd_list, "run": cmd_run, "compare": cmd_compare,
-                "trend": cmd_trend, "serve": cmd_serve, "worker": cmd_worker}
+    configure_logging(
+        level=getattr(args, "log_level", "info"),
+        json_lines=getattr(args, "log_json", False),
+        quiet=getattr(args, "quiet", False),
+    )
+    handlers = {"list": cmd_list, "run": cmd_run, "trace": cmd_trace,
+                "compare": cmd_compare, "trend": cmd_trend,
+                "serve": cmd_serve, "worker": cmd_worker}
     try:
         return handlers[args.command](args)
     except BrokenPipeError:  # e.g. `repro-bench list | head`

@@ -17,7 +17,14 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from .base import ExecBackend, ProcessPoolBackend, SerialBackend, effective_timeout, failed_result
+from .base import (
+    ExecBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    TracingSerialBackend,
+    effective_timeout,
+    failed_result,
+)
 from .coordinator import (
     DEFAULT_HEARTBEAT_S,
     DEFAULT_LEASE_GRACE_S,
@@ -90,6 +97,7 @@ __all__ = [
     "ProcessPoolBackend",
     "QueueBackend",
     "SerialBackend",
+    "TracingSerialBackend",
     "WIRE_VERSION",
     "WireError",
     "connect_with_retry",

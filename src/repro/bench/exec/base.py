@@ -79,6 +79,36 @@ class SerialBackend:
                 yield unit, execute_unit(unit, budget)
 
 
+class TracingSerialBackend(SerialBackend):
+    """Serial execution with a :class:`~repro.obs.TraceRecorder` attached.
+
+    Every unit runs under :func:`repro.obs.use_tracer` with its own recorder
+    group (``scenario_id:label``), so one merged ``trace.json`` holds a
+    Perfetto process per unit.  Because the tracer only observes, the yielded
+    results are bit-identical to :class:`SerialBackend` — the property the
+    ``--trace --compare --tolerance 0`` CI leg gates.
+    """
+
+    def __init__(self, recorder, profile_top: Optional[int] = None) -> None:
+        super().__init__(profile_top=profile_top)
+        self.recorder = recorder
+
+    def submit(
+        self, units: Iterable[ScenarioUnit], timeout_s: Optional[float] = None
+    ) -> Iterator[Tuple[ScenarioUnit, UnitResult]]:
+        from ...obs import use_tracer
+
+        for unit in units:
+            budget = effective_timeout(unit, timeout_s)
+            self.recorder.set_group(f"{unit.scenario_id}:{unit.label}")
+            with use_tracer(self.recorder):
+                if self.profile_top is not None:
+                    result = execute_unit_profiled(unit, budget, top=self.profile_top)
+                else:
+                    result = execute_unit(unit, budget)
+            yield unit, result
+
+
 class ProcessPoolBackend:
     """Local ``ProcessPoolExecutor`` fan-out (the historical ``--jobs N``).
 

@@ -33,6 +33,7 @@ import time
 from collections import deque
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from ...obs import get_run_logger
 from ..registry import ScenarioUnit
 from ..runner import UnitResult
 from .base import effective_timeout, failed_result
@@ -55,6 +56,12 @@ DEFAULT_HEARTBEAT_S = 2.0
 DEFAULT_LEASE_GRACE_S = 30.0
 #: Leases granted per unit before the coordinator gives up on it.
 DEFAULT_MAX_ATTEMPTS = 3
+
+#: Structured run-log twin of the injectable ``log`` callable: every fleet
+#: event also lands here at DEBUG, so ``--log-level debug --log-json`` yields
+#: a machine-readable lease/requeue/join history without changing the
+#: human-facing callback output.
+_log = get_run_logger("bench.exec.coordinator")
 
 
 class _Batch:
@@ -154,6 +161,7 @@ class Coordinator:
             self._threads.append(thread)
         host, port = self.address
         self._log(f"coordinator listening on {host}:{port}")
+        _log.debug("listening", host=host, port=port)
         return self
 
     def close(self) -> None:
@@ -293,8 +301,11 @@ class Coordinator:
                 f"{batch.attempts[index]} attempt(s)",
             ))
             self._log(f"unit {unit.label} gave up: {reason}")
+            _log.debug("unit_exhausted", unit=unit.label, reason=reason,
+                       attempts=batch.attempts[index])
         else:
             self._log(f"unit {unit.label} requeued: {reason}")
+            _log.debug("unit_requeued", unit=unit.label, reason=reason)
 
     # ------------------------------------------------------------------ server loops
     def _accept_loop(self) -> None:
@@ -371,6 +382,8 @@ class Coordinator:
         })
         self._log(f"worker {worker.worker_id} joined from {addr[0]}:{addr[1]} "
                   f"(jobs={jobs})")
+        _log.debug("worker_joined", worker=worker.worker_id,
+                   host=addr[0], port=addr[1], jobs=jobs)
         try:
             while True:
                 message = recv_message(sock)
@@ -417,6 +430,8 @@ class Coordinator:
                       f"requeueing {len(leases)} lease(s)")
         else:
             self._log(f"worker {worker.worker_id} left ({reason})")
+        _log.debug("worker_dropped", worker=worker.worker_id, reason=reason,
+                   requeued=len(leases))
         for lease in leases:
             self._requeue(lease, "failed",
                           f"worker {worker.worker_id} died ({reason})")
@@ -437,6 +452,7 @@ class Coordinator:
                 timeout_s = message.get("timeout_s")
                 timeout_s = float(timeout_s) if timeout_s is not None else None
                 self._log(f"driver submitted {len(units)} unit(s)")
+                _log.debug("driver_submit", units=len(units))
                 for index, result in self.submit_units(units, timeout_s):
                     send_message(sock, {
                         "type": "result", "index": index,

@@ -20,8 +20,9 @@ from __future__ import annotations
 import socket
 import time
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
+from ...obs import get_run_logger
 from ..runner import execute_unit
 from .wire import (
     WIRE_VERSION,
@@ -35,6 +36,11 @@ from .wire import (
 #: How long ``connect_with_retry`` keeps knocking before giving up — covers
 #: the common orchestration where workers start before the coordinator.
 DEFAULT_CONNECT_TIMEOUT_S = 30.0
+
+#: Structured run-log twin of the injectable ``log`` callable (DEBUG level,
+#: so a default run stays quiet but ``--log-level debug --log-json`` yields
+#: per-unit lease + wall-clock records).
+_log = get_run_logger("bench.exec.worker")
 
 
 def connect_with_retry(
@@ -81,7 +87,7 @@ def run_worker(
     executed = 0
     exit_code = 0
     welcomed = False
-    inflight: Dict[Future, int] = {}
+    inflight: Dict[Future, Tuple[int, str, float]] = {}  # lease, label, granted-at
     try:
         sock.settimeout(30.0)
         send_message(sock, {
@@ -104,7 +110,7 @@ def run_worker(
             progressed = False
             # ---- stream back any finished leases
             for future in [f for f in inflight if f.done()]:
-                lease_id = inflight.pop(future)
+                lease_id, label, granted_at = inflight.pop(future)
                 result = future.result()  # execute_unit never raises
                 send_message(sock, {
                     "type": "result", "lease_id": lease_id,
@@ -112,7 +118,11 @@ def run_worker(
                 })
                 executed += 1
                 progressed = True
-                emit(f"unit done (lease {lease_id}, status {result.status})")
+                wall_s = time.monotonic() - granted_at
+                emit(f"unit {label} done (lease {lease_id}, "
+                     f"status {result.status}, {wall_s:.2f}s wall)")
+                _log.debug("unit_done", unit=label, lease=lease_id,
+                           status=result.status, wall_s=round(wall_s, 3))
             if max_units is not None and executed >= max_units:
                 drained = True
             if drained and not inflight:
@@ -129,7 +139,10 @@ def run_worker(
                     unit = unit_from_wire(reply["unit"])
                     budget = float(reply["timeout_s"])
                     future = pool.submit(execute_unit, unit, budget)
-                    inflight[future] = int(reply["lease_id"])
+                    inflight[future] = (int(reply["lease_id"]), unit.label,
+                                        time.monotonic())
+                    _log.debug("lease_granted", unit=unit.label,
+                               lease=int(reply["lease_id"]), budget_s=budget)
                     progressed = True
                 elif kind == "idle":
                     backoff_until = now + float(reply.get("backoff_s", 0.25))

@@ -53,6 +53,11 @@ class UnitResult:
     error: str = ""
     #: Optional cProfile report (``--profile`` runs only); never persisted.
     profile_text: str = field(default="", compare=False, repr=False)
+    #: Structured top-N hotspots (``--profile-json``); like ``profile_text``,
+    #: excluded from ``as_dict`` so profiling data never reaches artifacts.
+    profile_stats: List[Dict[str, object]] = field(
+        default_factory=list, compare=False, repr=False
+    )
 
     @property
     def key(self) -> Tuple[str, str, int, str]:
@@ -312,6 +317,36 @@ def _run_broadcast_latency(unit: ScenarioUnit) -> Dict[str, float]:
     return metrics
 
 
+def system_for_unit(unit: ScenarioUnit):
+    """Instantiate the registered system for one grid point.
+
+    Unlike the kind-specific executors above (which may evaluate a unit
+    analytically — e.g. the batch-cycle composition for ``laminar``
+    throughput), this always builds the full discrete-event system, so a
+    traced run produces a complete simulated timeline for every registered
+    system.  Fault-injection units keep their failure schedule attached.
+    """
+    from ..systems import FailureEvent, FailureInjector, FailureKind, LaminarSystem, make_system
+
+    params = overrides_dict(unit.overrides)
+    if unit.kind == "fault_injection":
+        failure_kind = str(params.pop("failure_kind", FailureKind.ROLLOUT_MACHINE))
+        failure_time = float(params.pop("failure_time", 60.0))
+        failure_target = int(params.pop("failure_target", 0))
+        reinit = bool(params.pop("reinit_succeeds", False))
+        config = _build_config(unit, params)
+        injector = FailureInjector()
+        injector.add(
+            FailureEvent(
+                time=failure_time, kind=failure_kind, target=failure_target,
+                reinit_succeeds=reinit,
+            )
+        )
+        return LaminarSystem(config, failure_injector=injector)
+    params.pop("staleness_profile", None)  # convergence-only knob
+    return make_system(_build_config(unit, params))
+
+
 _EXECUTORS: Dict[str, Callable[[ScenarioUnit], Dict[str, float]]] = {
     "throughput": _run_throughput,
     "staleness_bound": _run_throughput,
@@ -394,6 +429,17 @@ def execute_unit_profiled(
     stats = pstats.Stats(profiler, stream=stream)
     stats.sort_stats("cumulative").print_stats(top)
     result.profile_text = stream.getvalue()
+    rows = sorted(stats.stats.items(), key=lambda kv: kv[1][3], reverse=True)
+    result.profile_stats = [
+        {
+            "function": f"{filename}:{line}:{func}",
+            "calls": int(ncalls),
+            "tottime_s": float(tottime),
+            "cumtime_s": float(cumtime),
+        }
+        for (filename, line, func), (_cc, ncalls, tottime, cumtime, _callers)
+        in rows[:top]
+    ]
     return result
 
 

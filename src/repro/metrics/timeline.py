@@ -57,6 +57,8 @@ class EventCounterSeries:
     counts: List[float] = field(default_factory=list)
 
     def record(self, time: float, count: float) -> None:
+        if self.times and time < self.times[-1] - 1e-9:
+            raise ValueError("timestamps must be non-decreasing")
         self.times.append(time)
         self.counts.append(count)
 

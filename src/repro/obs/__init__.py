@@ -1,0 +1,50 @@
+"""``repro.obs``: deterministic trace + telemetry layer.
+
+Two complementary surfaces:
+
+* **Simulated time** (:mod:`.trace`, :mod:`.export`) — a :class:`Tracer`
+  protocol with a zero-overhead :class:`NullTracer` default, a
+  :class:`TraceRecorder` collecting spans / instants / counter samples from
+  the instrumented engine, harness and systems, and a Chrome-trace-event
+  exporter producing Perfetto-loadable ``trace.json`` timelines plus text
+  summaries.  Contract: tracing on is **bit-identical** to tracing off.
+
+* **Wall-clock time** (:mod:`.runlog`) — structured :mod:`logging`-based run
+  logs for the CLI and the distributed coordinator/worker fleet, with
+  human-readable or JSON-lines console output.
+
+This package deliberately imports nothing from the rest of ``repro`` so the
+event engine can attach the active tracer without an import cycle.
+"""
+
+from .export import chrome_trace, summarise_trace, write_chrome_trace
+from .runlog import RunLogger, configure_logging, get_run_logger
+from .trace import (
+    NULL_TRACER,
+    CounterSample,
+    Instant,
+    NullTracer,
+    Span,
+    TraceRecorder,
+    Tracer,
+    current_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "CounterSample",
+    "Instant",
+    "NULL_TRACER",
+    "NullTracer",
+    "RunLogger",
+    "Span",
+    "TraceRecorder",
+    "Tracer",
+    "chrome_trace",
+    "configure_logging",
+    "current_tracer",
+    "get_run_logger",
+    "summarise_trace",
+    "use_tracer",
+    "write_chrome_trace",
+]

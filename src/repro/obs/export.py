@@ -1,0 +1,191 @@
+"""Chrome-trace-event export and text summaries for :class:`TraceRecorder`.
+
+The exporter emits the JSON object format of the Chrome Trace Event spec —
+the dialect `Perfetto <https://ui.perfetto.dev>`_ loads directly: recorder
+*groups* become processes (``pid`` + ``process_name`` metadata), *tracks*
+become named threads (``tid`` + ``thread_name`` metadata), spans are complete
+``"X"`` events, instants are ``"i"`` events and counter samples are ``"C"``
+events.  Timestamps are simulated seconds scaled to microseconds, so one
+trace-viewer millisecond is one simulated millisecond.
+
+Complete events (rather than ``B``/``E`` pairs) are deliberate: the
+instrumentation sites know both endpoints of every phase, and complete events
+carry no begin/end matching state — ties at equal timestamps cannot
+mis-nest.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from .trace import TraceRecorder
+
+__all__ = ["chrome_trace", "summarise_trace", "write_chrome_trace"]
+
+#: Simulated seconds -> trace microseconds.
+_TIME_SCALE = 1e6
+
+#: Well-known tracks first, then replicas, machines, everything else.
+_TRACK_PRIORITY = {"trainer": 0, "sync": 1, "manager": 2, "rollout": 3}
+
+
+def _track_sort_index(track: str, fallback: int) -> int:
+    if track in _TRACK_PRIORITY:
+        return _TRACK_PRIORITY[track]
+    prefix, _, suffix = track.rpartition("-")
+    if suffix.isdigit():
+        base = {"replica": 100, "machine": 100000}.get(prefix, 200000)
+        return base + int(suffix)
+    return 300000 + fallback
+
+
+def chrome_trace(recorder: TraceRecorder) -> Dict[str, object]:
+    """Render the recorder as a Chrome-trace JSON object (Perfetto-loadable)."""
+    pids: Dict[str, int] = {}
+    tids: Dict[Tuple[str, str], int] = {}
+    events: List[Dict[str, object]] = []
+
+    def pid_of(group: str) -> int:
+        pid = pids.get(group)
+        if pid is None:
+            pid = pids[group] = len(pids) + 1
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": group},
+            })
+        return pid
+
+    def tid_of(group: str, track: str) -> int:
+        key = (group, track)
+        tid = tids.get(key)
+        if tid is None:
+            pid = pid_of(group)
+            tid = tids[key] = len(tids) + 1
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": track},
+            })
+            events.append({
+                "name": "thread_sort_index", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"sort_index": _track_sort_index(track, tid)},
+            })
+        return tid
+
+    for span in recorder.spans:
+        event: Dict[str, object] = {
+            "name": span.name, "cat": "sim", "ph": "X",
+            "ts": span.begin * _TIME_SCALE,
+            "dur": (span.end - span.begin) * _TIME_SCALE,
+            "pid": pid_of(span.group), "tid": tid_of(span.group, span.track),
+        }
+        if span.args:
+            event["args"] = span.args
+        events.append(event)
+    for instant in recorder.instants:
+        event = {
+            "name": instant.name, "cat": "sim", "ph": "i", "s": "t",
+            "ts": instant.ts * _TIME_SCALE,
+            "pid": pid_of(instant.group),
+            "tid": tid_of(instant.group, instant.track),
+        }
+        if instant.args:
+            event["args"] = instant.args
+        events.append(event)
+    for sample in recorder.counters:
+        events.append({
+            "name": f"{sample.track}:{sample.name}", "cat": "sim", "ph": "C",
+            "ts": sample.ts * _TIME_SCALE,
+            "pid": pid_of(sample.group), "tid": 0,
+            "args": {"value": sample.value},
+        })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "clock": "simulated seconds (1 trace ms = 1 simulated ms)",
+            "groups": len(pids),
+            "tracks": len(tids),
+        },
+    }
+
+
+def _json_default(value: object) -> object:
+    # Span args flow straight from instrumentation sites, where token sums
+    # and staleness values are often numpy scalars; ``.item()`` unwraps them
+    # to native Python numbers.
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    return str(value)
+
+
+def write_chrome_trace(recorder: TraceRecorder, path: str) -> Dict[str, object]:
+    """Write the Chrome-trace JSON to ``path``; returns the payload."""
+    payload = chrome_trace(recorder)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=None, separators=(",", ":"),
+                  default=_json_default)
+        handle.write("\n")
+    return payload
+
+
+# --------------------------------------------------------------------------- summary
+def _busy_time(intervals: List[Tuple[float, float]]) -> float:
+    """Length of the union of the (possibly overlapping) span intervals."""
+    busy = 0.0
+    end = float("-inf")
+    for begin, stop in sorted(intervals):
+        if stop > end:
+            busy += stop - max(begin, end)
+            end = stop
+    return busy
+
+
+def summarise_trace(recorder: TraceRecorder) -> str:
+    """Per-track text summary: span counts and busy/idle simulated time.
+
+    "Busy" is the union of a track's span intervals; "idle" is the rest of
+    the group's overall trace window — the text equivalent of eyeballing the
+    Perfetto timeline for bubbles.
+    """
+    if recorder.num_events() == 0:
+        return "trace summary: empty"
+    lines = [
+        f"trace summary: {len(recorder.groups())} group(s), "
+        f"{len(recorder.tracks())} track(s), {recorder.num_events()} event(s)"
+    ]
+    for group in recorder.groups():
+        stamps = [t for s in recorder.spans if s.group == group
+                  for t in (s.begin, s.end)]
+        stamps += [i.ts for i in recorder.instants if i.group == group]
+        stamps += [c.ts for c in recorder.counters if c.group == group]
+        window = (max(stamps) - min(stamps)) if stamps else 0.0
+        lines.append(f"[{group}] window={window:.3f}s")
+        for _, track in recorder.tracks(group):
+            spans = [s for s in recorder.spans
+                     if s.group == group and s.track == track]
+            instants = [i for i in recorder.instants
+                        if i.group == group and i.track == track]
+            busy = _busy_time([(s.begin, s.end) for s in spans])
+            parts = [f"  {track:<16} spans={len(spans):<4}"]
+            if spans:
+                parts.append(f"busy={busy:.3f}s idle={max(0.0, window - busy):.3f}s")
+            if instants:
+                names: Dict[str, int] = {}
+                for instant in instants:
+                    names[instant.name] = names.get(instant.name, 0) + 1
+                rendered = ", ".join(f"{k}×{v}" for k, v in names.items())
+                parts.append(f"instants: {rendered}")
+            lines.append(" ".join(parts))
+        counters: Dict[str, int] = {}
+        for sample in recorder.counters:
+            if sample.group == group:
+                key = f"{sample.track}:{sample.name}"
+                counters[key] = counters.get(key, 0) + 1
+        if counters:
+            lines.append(f"  counters: {len(counters)} series, "
+                         f"{sum(counters.values())} sample(s)")
+    return "\n".join(lines)

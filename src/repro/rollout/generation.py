@@ -276,6 +276,14 @@ class ReplicaGenerationState:
         #: Utilisation at the previous observation, for the ramp-down test
         #: (§5.2: a repack candidate has non-increasing KVCache utilisation).
         self.prev_utilization = 0.0
+        #: Observability: when tracing is on, the decode loop appends
+        #: ``(local clock, tokens)`` increments here (one list append per
+        #: vectorized decode window — the batched-flush contract keeping the
+        #: SoA hot path fast); the harness drains it at phase boundaries via
+        #: :meth:`take_trace_samples`.  ``None`` (the default) disables the
+        #: buffer entirely.
+        self.trace_samples: Optional[List[Tuple[float, int]]] = None
+        self._trace_total = 0
         # SoA state, indexed by slot id (see _alloc_slot).
         self._slots: Dict[int, int] = {}
         self._free_slots: List[int] = []
@@ -655,7 +663,10 @@ class ReplicaGenerationState:
                     trajectory.versions_used.append(version)
             self._a_last_ver[slots[stale]] = version
         self.kvcache.append_tokens_many(dec.ids_view(), step_tokens, rows=dec.rows_view())
-        self.stats.tokens_generated += int(step_tokens.sum())
+        generated = int(step_tokens.sum())
+        self.stats.tokens_generated += generated
+        if self.trace_samples is not None:
+            self.trace_samples.append((self.clock, generated))
         finished_positions = np.flatnonzero(new_seg == 0)
         if len(finished_positions):
             self._finish_segments(finished_positions, completed_now)
@@ -700,6 +711,31 @@ class ReplicaGenerationState:
                     self._env.append(seq_id, slot, int(dec.rows[position]))
         if leaving:
             dec.delete_positions(leaving)
+
+    def enable_trace_sampling(self) -> None:
+        """Arm the decode loop's trace-sample buffer (idempotent)."""
+        if self.trace_samples is None:
+            self.trace_samples = []
+
+    def take_trace_samples(self, offset: float = 0.0) -> List[Tuple[float, float]]:
+        """Drain the buffered decode samples as cumulative-token counter rows.
+
+        Returns ``(offset + local clock, cumulative tokens)`` pairs — the
+        batched flush the harness feeds to the tracer.  ``offset`` maps the
+        replica-local clock into the environment's simulated time (zero for
+        the continuous drivers, whose clocks are already absolute).
+        """
+        samples = self.trace_samples
+        if not samples:
+            return []
+        self.trace_samples = []
+        out: List[Tuple[float, float]] = []
+        total = self._trace_total
+        for clock, generated in samples:
+            total += generated
+            out.append((offset + clock, float(total)))
+        self._trace_total = total
+        return out
 
     def inject_stall(self, duration: float, *, busy: bool = True) -> None:
         """Advance the replica clock by ``duration`` without decoding.

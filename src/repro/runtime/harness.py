@@ -41,6 +41,19 @@ from ..types import Trajectory
 _EPS = 1e-9
 
 
+def _flush_decode_samples(tracer, replica: ReplicaGenerationState,
+                          offset: float = 0.0) -> None:
+    """Batched flush of the replica's buffered decode samples to the tracer.
+
+    The SoA decode loop only appends ``(clock, tokens)`` rows; turning them
+    into cumulative-token counter events happens here, once per phase
+    boundary, so tracing adds no per-decode-window tracer calls.
+    """
+    samples = replica.take_trace_samples(offset)
+    if samples:
+        tracer.counter_batch(f"replica-{replica.replica_id}", "tokens", samples)
+
+
 @dataclass
 class GenerationOutcome:
     """Result of generating one batch of trajectories on a set of replicas."""
@@ -77,6 +90,10 @@ def drain_replica(env: Environment, replica: ReplicaGenerationState) -> Generato
     O(1) for its first window instead of re-scanning the batch.
     """
     start = replica.clock
+    tracer = env.tracer
+    drain_begin = env.now
+    if tracer.enabled:
+        replica.enable_trace_sampling()
     completed: List[Trajectory] = []
     while replica.num_sequences:
         delta = replica.next_event_in()
@@ -86,6 +103,12 @@ def drain_replica(env: Environment, replica: ReplicaGenerationState) -> Generato
         completed.extend(replica.advance(delta))
     completed.extend(replica.drain_completed())
     unique: Dict[int, Trajectory] = {t.traj_id: t for t in completed}
+    if tracer.enabled:
+        tracer.span(f"replica-{replica.replica_id}", "generate",
+                    drain_begin, env.now,
+                    args={"trajectories": len(unique),
+                          "tokens": replica.stats.tokens_generated})
+        _flush_decode_samples(tracer, replica, offset=drain_begin - start)
     return replica.clock - start, list(unique.values())
 
 
@@ -138,6 +161,9 @@ def drain_replica_anchored(
     mini-batch trainer clocks itself on.
     """
     start = replica.clock
+    tracer = env.tracer
+    if tracer.enabled:
+        replica.enable_trace_sampling()
     completed: List[Trajectory] = []
     seen: Dict[int, Trajectory] = {}
 
@@ -174,6 +200,12 @@ def drain_replica_anchored(
         completed.extend(publish(done))
         yield env.timeout_until(origin + replica.clock)
     completed.extend(publish(replica.drain_completed()))
+    if tracer.enabled:
+        tracer.span(f"replica-{replica.replica_id}", "generate",
+                    origin + start, origin + replica.clock,
+                    args={"trajectories": len(completed),
+                          "tokens": replica.stats.tokens_generated})
+        _flush_decode_samples(tracer, replica, offset=origin)
     return replica.clock - start, completed
 
 
@@ -306,6 +338,8 @@ class ReplicaFleet:
         behind = self.env.now - replica.clock
         if behind > _EPS:
             self.on_advance(replica, replica.advance(behind))
+            if self.env.tracer.enabled:
+                _flush_decode_samples(self.env.tracer, replica)
 
 
 def replica_driver(env: Environment, replica_id: int, fleet: ReplicaFleet) -> Generator:
@@ -320,6 +354,11 @@ def replica_driver(env: Environment, replica_id: int, fleet: ReplicaFleet) -> Ge
     woken without an intervening replica mutation (e.g. a broadcast ``touch``)
     re-derives its next event in O(1) rather than re-scanning the decode batch.
     """
+    tracer = env.tracer
+    if tracer.enabled:
+        seeded = fleet.replica(replica_id)
+        if seeded is not None:
+            seeded.enable_trace_sampling()
     while True:
         replica = fleet.replica(replica_id)
         if replica is None:
@@ -329,6 +368,8 @@ def replica_driver(env: Environment, replica_id: int, fleet: ReplicaFleet) -> Ge
             # An external actor let simulated time pass (or this driver was
             # interrupted mid-sleep): consume the elapsed window first.
             fleet.on_advance(replica, replica.advance(behind))
+            if tracer.enabled:
+                _flush_decode_samples(tracer, replica)
             continue
         if replica.is_idle:
             fleet.refill(replica)
@@ -359,3 +400,5 @@ def replica_driver(env: Environment, replica_id: int, fleet: ReplicaFleet) -> Ge
         behind = env.now - replica.clock
         if behind > _EPS:
             fleet.on_advance(replica, replica.advance(behind))
+            if tracer.enabled:
+                _flush_decode_samples(tracer, replica)

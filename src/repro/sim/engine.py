@@ -29,6 +29,8 @@ import inspect
 import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from ..obs.trace import current_tracer
+
 
 class SimulationError(RuntimeError):
     """Raised for illegal uses of the simulation engine."""
@@ -376,6 +378,12 @@ class Environment:
         self._queue: List = []
         self._eid = itertools.count()
         self._active_process: Optional[Process] = None
+        # Observability: capture the active tracer at construction so every
+        # process on this environment reports to the same recorder.  The
+        # default NullTracer is shared and disabled; instrumentation sites
+        # guard on ``env.tracer.enabled`` and only *observe* (the tracing
+        # on/off bit-identity contract).
+        self.tracer = current_tracer()
 
     # -- clock ------------------------------------------------------------
     @property

@@ -63,6 +63,7 @@ class PartialRollout(System):
         default_staleness_bound=10 ** 6,
         default_max_concurrency=1024,
         throughput_method="areal_fixed_point",
+        trace_spans=("iteration", "training", "weight_sync"),
     )
 
     def __init__(self, config) -> None:
@@ -104,6 +105,7 @@ class PartialRollout(System):
     # ------------------------------------------------------------------ main loop
     def build(self, env: Environment, result: SystemRunResult,
               num_iterations: int) -> Generator:
+        tracer = env.tracer
         sync_time = self.global_sync_time()
         self.replicas = self.make_replicas(self.num_generation_replicas(), weight_version=0)
         fleet = _ContinuousFleet(env, self)
@@ -129,6 +131,7 @@ class PartialRollout(System):
             # instant *before* recording it, so trajectories that completed
             # during the training window are scored with the pre-update
             # actor version.
+            train_start = env.now
             yield env.timeout(train_time)
             for replica in self.replicas:
                 fleet.catch_up(replica)
@@ -152,10 +155,19 @@ class PartialRollout(System):
                     bubble_time=reprefill_stall / max(1, len(self.replicas)),
                 )
             )
-            result.staleness_samples.extend(exp.staleness for exp in batch)
+            self.record_batch_staleness(env, result, batch)
             result.extras["mixed_version_fraction"] = float(
                 np.mean([exp.trajectory.mixed_versions for exp in batch])
             )
+            if tracer.enabled:
+                tracer.span("trainer", "training", train_start,
+                            train_start + train_time, args={"tokens": tokens})
+                tracer.span("sync", "weight_sync", env.now, env.now + sync_time,
+                            args={"mechanism": "pause_and_sync"})
+                tracer.instant("rollout", "reprefill", env.now,
+                               args={"stall": reprefill_stall})
+                tracer.span("trainer", "iteration", iteration_start, env.now,
+                            args={"iteration": len(result.iterations)})
         # The pause-and-sync stall of the final update is still outstanding on
         # the replica clocks; the run ends at the last update completion.
         result.extras["global_sync_time"] = sync_time

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import ClassVar, Dict, Generator, List, Optional, Sequence, Type
+from typing import ClassVar, Dict, Generator, List, Optional, Sequence, Tuple, Type
 
 from ..config import SystemConfig
 from ..metrics.results import SystemRunResult
@@ -67,6 +67,9 @@ class SystemCapabilities:
     #: "simulate" (direct DES run), "laminar_cycle" (batch-cycle composition)
     #: or "areal_fixed_point" (continuous-rate fixed point).
     throughput_method: str = "simulate"
+    #: Span kinds this orchestration guarantees to emit on every traced run
+    #: (registry-integrity contract checked by the observability tests).
+    trace_spans: Tuple[str, ...] = ()
 
     def summary(self) -> str:
         """Compact capability string for tables."""
@@ -198,6 +201,18 @@ class System(ABC):
     def global_sync_time(self) -> float:
         """GPU-direct global weight synchronization latency (NCCL-style)."""
         return self.weight_sync.sync_time()
+
+    def record_batch_staleness(self, env: Environment, result: SystemRunResult,
+                               batch) -> None:
+        """Append the batch's staleness samples, mirroring them as a trace
+        instant on the trainer track when a recorder is attached."""
+        values = [exp.staleness for exp in batch]
+        result.staleness_samples.extend(values)
+        tracer = env.tracer
+        if tracer.enabled and values:
+            tracer.instant("trainer", "staleness", env.now,
+                           args={"mean": sum(values) / len(values),
+                                 "max": max(values), "batch": len(values)})
 
     def batch_tokens(self, trajectories: Sequence[Trajectory]) -> int:
         return sum(t.total_tokens for t in trajectories)

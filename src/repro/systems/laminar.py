@@ -79,6 +79,7 @@ class LaminarSystem(System):
         default_staleness_bound=0,
         default_max_concurrency=1024,
         throughput_method="laminar_cycle",
+        trace_spans=("iteration", "training", "weight_sync", "weight_pull"),
     )
 
     #: Safety cap on simulated time (seconds).
@@ -330,6 +331,7 @@ class LaminarNoRepack(LaminarSystem):
         default_max_concurrency=1024,
         placement_like="laminar",
         throughput_method="laminar_cycle",
+        trace_spans=("iteration", "training", "weight_sync", "weight_pull"),
     )
 
     def __init__(self, config: SystemConfig, **kwargs) -> None:
@@ -374,7 +376,18 @@ class LaminarRuntime(ReplicaFleet):
         return self.system.replicas.get(replica_id)
 
     def refill(self, replica: ReplicaGenerationState) -> None:
-        self.system._refill_replica(replica, self.env.now)
+        env = self.env
+        tracer = env.tracer
+        if not tracer.enabled:
+            self.system._refill_replica(replica, env.now)
+            return
+        # The refill's only clock movement is the relay pull stall, so the
+        # clock delta *is* the pull wait — observed, not recomputed.
+        clock_before = replica.clock
+        if self.system._refill_replica(replica, env.now):
+            tracer.span(f"replica-{replica.replica_id}", "weight_pull",
+                        env.now, env.now + (replica.clock - clock_before),
+                        args={"version": replica.weight_version})
 
     def on_advance(self, replica: ReplicaGenerationState, completed: List[Trajectory]) -> None:
         system = self.system
@@ -412,6 +425,7 @@ class LaminarRuntime(ReplicaFleet):
             self.notify_refill()  # run-ahead budget freed
             tokens = sum(exp.tokens for exp in batch)
             compute = system.trainer.iteration_compute_time(tokens)
+            train_begin = env.now
             finish = env.now + compute
             while finish - env.now > _EPS:
                 try:
@@ -439,7 +453,18 @@ class LaminarRuntime(ReplicaFleet):
                     weight_sync_time=publication.actor_stall,
                 )
             )
-            result.staleness_samples.extend(exp.staleness for exp in batch)
+            system.record_batch_staleness(env, result, batch)
+            if env.tracer.enabled:
+                # The training span covers checkpoint-restore slips too (the
+                # trainer really occupied its GPUs until ``finish``).
+                env.tracer.span("trainer", "training", train_begin, env.now,
+                                args={"tokens": tokens, "compute": compute})
+                env.tracer.span("sync", "weight_sync", env.now, completion,
+                                args={"mechanism": "relay",
+                                      "actor_stall": publication.actor_stall})
+                env.tracer.span("trainer", "iteration", record.start_time,
+                                completion,
+                                args={"iteration": len(result.iterations)})
             self._last_completion = completion
             # §5.1: a repack is also triggered right after each trainer update.
             self._repack(force=True)
@@ -458,6 +483,10 @@ class LaminarRuntime(ReplicaFleet):
             self.catch_up(replica)
         released, overhead = system.manager.maybe_repack(system.replicas, env.now, force=force)
         system._charge_repack_overhead(released, overhead)
+        if released and env.tracer.enabled:
+            env.tracer.span("manager", "repack", env.now, env.now + overhead,
+                            args={"released": len(released),
+                                  "overhead": overhead, "forced": force})
         if released:
             # Sources were emptied and destinations grew (plus the shared
             # migration stall): every sleeping driver must recompute.
@@ -473,9 +502,14 @@ class LaminarRuntime(ReplicaFleet):
 
     def _observe_kvcache(self) -> None:
         system = self.system
+        tracer = self.env.tracer
         for replica_id in list(system.replicas)[:4]:
             replica = system.replicas[replica_id]
-            system.record_kvcache_sample(replica_id, self.env.now, replica.kvcache_utilization)
+            utilization = replica.kvcache_utilization
+            system.record_kvcache_sample(replica_id, self.env.now, utilization)
+            if tracer.enabled:
+                tracer.counter(f"replica-{replica_id}", "kvcache_utilization",
+                               self.env.now, utilization)
 
     # ------------------------------------------------------------------ failures
     def _failures(self):
@@ -495,6 +529,12 @@ class LaminarRuntime(ReplicaFleet):
 
     def _apply_failure(self, event: FailureEvent) -> None:
         env, system = self.env, self.system
+        if env.tracer.enabled:
+            track = ("trainer" if event.kind == FailureKind.TRAINER
+                     else f"machine-{event.target}")
+            env.tracer.instant(track, "failure", env.now,
+                               args={"kind": str(event.kind),
+                                     "target": event.target})
         if event.kind == FailureKind.ROLLOUT_MACHINE:
             # Bring every replica up to the failure instant so the streamed
             # tokens in the partial response pool are exact, then fail over.
@@ -527,7 +567,11 @@ class LaminarRuntime(ReplicaFleet):
         env, system = self.env, self.system
         if at - env.now > _EPS:
             yield env.timeout(at - env.now)
-        for replica in system._recover_machine(machine_id, env.now):
+        created = system._recover_machine(machine_id, env.now)
+        if env.tracer.enabled:
+            env.tracer.instant(f"machine-{machine_id}", "recovery", env.now,
+                               args={"replicas": len(created)})
+        for replica in created:
             self._tokens_seen.setdefault(replica.replica_id, 0)
             self.spawn(replica.replica_id)
         self.notify_refill()
@@ -541,3 +585,6 @@ class LaminarRuntime(ReplicaFleet):
         if at - env.now > _EPS:
             yield env.timeout(at - env.now)
         system.relay.recover_machine(machine_id, env.now)
+        if env.tracer.enabled:
+            env.tracer.instant(f"machine-{machine_id}", "recovery", env.now,
+                               args={"component": "relay"})

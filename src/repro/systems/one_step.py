@@ -36,14 +36,22 @@ class OneStepStaleness(System):
         staleness="bounded",
         default_staleness_bound=1,
         default_max_concurrency=8192,
+        trace_spans=("iteration", "generation", "training", "weight_sync"),
     )
 
     def build(self, env: Environment, result: SystemRunResult,
               num_iterations: int) -> Generator:
+        tracer = env.tracer
         sync_time = self.global_sync_time()
 
         # Pipeline fill: generate the first batch before training can start.
+        fill_start = env.now
         outcome = yield from self.generate_batch_process(env, 0, origin=env.now)
+        if tracer.enabled:
+            tracer.span("rollout", "generation", fill_start, env.now,
+                        args={"tokens": outcome.tokens_generated,
+                              "phase": "pipeline_fill"})
+            tracer.span("sync", "weight_sync", env.now, env.now + sync_time)
         yield env.timeout(sync_time)
         self.score_and_buffer(outcome.trajectories, self.trainer.weight_version)
 
@@ -64,6 +72,7 @@ class OneStepStaleness(System):
             training = env.process(self._training(env, train_time),
                                    name=f"{self.name}-training")
             yield env.all_of([generation, training])
+            join = env.now
             yield env.timeout(sync_time)
             outcome = generation.value
             record = self.trainer.record_iteration(batch, start, env.now)
@@ -81,7 +90,15 @@ class OneStepStaleness(System):
                     bubble_time=outcome.bubble_time + max(0.0, stage_time - outcome.duration),
                 )
             )
-            result.staleness_samples.extend(exp.staleness for exp in batch)
+            self.record_batch_staleness(env, result, batch)
+            if tracer.enabled:
+                tracer.span("rollout", "generation", start, start + outcome.duration,
+                            args={"tokens": outcome.tokens_generated})
+                tracer.span("trainer", "training", start, start + train_time,
+                            args={"tokens": tokens})
+                tracer.span("sync", "weight_sync", join, env.now)
+                tracer.span("trainer", "iteration", start, env.now,
+                            args={"iteration": len(result.iterations)})
         result.extras["global_sync_time"] = sync_time
 
     # ------------------------------------------------------------------ stages

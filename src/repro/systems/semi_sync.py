@@ -44,10 +44,12 @@ class SemiSyncBarrier(System):
         placement_like="one_step",
         default_staleness_bound=2,
         default_max_concurrency=8192,
+        trace_spans=("iteration", "generation", "training", "weight_sync"),
     )
 
     def build(self, env: Environment, result: SystemRunResult,
               num_iterations: int) -> Generator:
+        tracer = env.tracer
         sync_time = self.global_sync_time()
         window = max(1, self.config.staleness_bound)
         ready: Deque[GenerationOutcome] = deque()
@@ -61,9 +63,14 @@ class SemiSyncBarrier(System):
                 # batches ahead of the last consumed batch.
                 while index - consumed[0] >= window:
                     yield slot_box.wait()
+                batch_start = env.now
                 outcome = yield from self.generate_batch_process(
                     env, self.trainer.weight_version, origin=env.now
                 )
+                if tracer.enabled:
+                    tracer.span("rollout", "generation", batch_start, env.now,
+                                args={"batch": index,
+                                      "tokens": outcome.tokens_generated})
                 ready.append(outcome)
                 data_box.notify()
 
@@ -82,6 +89,7 @@ class SemiSyncBarrier(System):
             batch = self.buffer.sample(self.config.global_batch_size)
             tokens = sum(exp.tokens for exp in batch)
             train_time = self.trainer.iteration_compute_time(tokens)
+            train_start = env.now
             yield env.timeout(train_time)
             # Blocking global sync couples every rollout to the new weights.
             yield env.timeout(sync_time)
@@ -96,6 +104,14 @@ class SemiSyncBarrier(System):
                     bubble_time=outcome.bubble_time + wait_time,
                 )
             )
-            result.staleness_samples.extend(exp.staleness for exp in batch)
+            self.record_batch_staleness(env, result, batch)
+            if tracer.enabled:
+                tracer.span("trainer", "training", train_start,
+                            train_start + train_time, args={"tokens": tokens})
+                tracer.span("sync", "weight_sync", train_start + train_time,
+                            env.now)
+                tracer.span("trainer", "iteration", start, env.now,
+                            args={"iteration": len(result.iterations),
+                                  "wait": wait_time})
         result.extras["global_sync_time"] = sync_time
         result.extras["staleness_window"] = float(window)

@@ -40,10 +40,12 @@ class StreamGeneration(System):
         staleness="bounded",
         default_staleness_bound=1,
         default_max_concurrency=8192,
+        trace_spans=("iteration", "generation", "training", "weight_sync"),
     )
 
     def build(self, env: Environment, result: SystemRunResult,
               num_iterations: int) -> Generator:
+        tracer = env.tracer
         sync_time = self.global_sync_time()
         num_minibatches = self.config.num_minibatches
         minibatch_trajs = self.config.global_batch_size // num_minibatches
@@ -96,7 +98,12 @@ class StreamGeneration(System):
                     bubble_time=outcome.bubble_time,
                 )
             )
-            result.staleness_samples.extend(exp.staleness for exp in batch)
+            self.record_batch_staleness(env, result, batch)
+            if tracer.enabled:
+                tracer.span("rollout", "generation", start, start + outcome.duration,
+                            args={"tokens": outcome.tokens_generated})
+                tracer.span("trainer", "iteration", start, env.now,
+                            args={"iteration": len(result.iterations)})
         result.extras["global_sync_time"] = sync_time
 
     # ------------------------------------------------------------------ stages
@@ -123,6 +130,7 @@ class StreamGeneration(System):
         lands at ``origin + cursor`` exactly (anchored, like the drains).
         Returns the total optimizer-step time of the iteration.
         """
+        tracer = env.tracer
         expected = self.config.global_batch_size
         cursor = 0.0
         total_train_time = 0.0
@@ -135,9 +143,17 @@ class StreamGeneration(System):
                 row[3] for row in arrived[j * minibatch_trajs:(j + 1) * minibatch_trajs]
             )
             mb_time = self.trainer.minibatch_time(mb_tokens)
-            cursor = max(cursor, data_ready) + mb_time
+            mb_start = max(cursor, data_ready)
+            cursor = mb_start + mb_time
             total_train_time += mb_time
+            if tracer.enabled:
+                tracer.span("trainer", "training", origin + mb_start,
+                            origin + cursor,
+                            args={"minibatch": j, "tokens": mb_tokens})
             yield env.timeout_until(origin + cursor)
         # Iteration boundary: the blocking global weight synchronization.
+        if tracer.enabled:
+            tracer.span("sync", "weight_sync", origin + cursor,
+                        origin + (cursor + sync_time))
         yield env.timeout_until(origin + (cursor + sync_time))
         return total_train_time

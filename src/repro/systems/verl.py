@@ -30,14 +30,17 @@ class VerlSynchronous(System):
         staleness="on_policy",
         default_staleness_bound=0,
         default_max_concurrency=8192,
+        trace_spans=("iteration", "generation", "training", "weight_sync"),
     )
 
     def build(self, env: Environment, result: SystemRunResult,
               num_iterations: int) -> Generator:
+        tracer = env.tracer
         for _ in range(num_iterations):
             start = env.now
             # --- generation stage: all GPUs act as rollout replicas ------------
             outcome = yield from self.generate_batch_process(env, self.trainer.weight_version)
+            gen_end = env.now
             yield env.timeout(COLOCATED_SWITCH_OVERHEAD)
             # --- training stage: same GPUs switch to the actor -----------------
             self.score_and_buffer(outcome.trajectories, self.trainer.weight_version)
@@ -55,4 +58,17 @@ class VerlSynchronous(System):
                     bubble_time=outcome.bubble_time,
                 )
             )
-            result.staleness_samples.extend(exp.staleness for exp in batch)
+            self.record_batch_staleness(env, result, batch)
+            if tracer.enabled:
+                index = len(result.iterations)
+                train_start = gen_end + COLOCATED_SWITCH_OVERHEAD
+                tracer.span("rollout", "generation", start, gen_end,
+                            args={"tokens": outcome.tokens_generated})
+                tracer.span("sync", "weight_sync", gen_end, train_start,
+                            args={"mechanism": "switch"})
+                tracer.span("trainer", "training", train_start,
+                            train_start + train_time, args={"tokens": tokens})
+                tracer.span("sync", "weight_sync", train_start + train_time,
+                            env.now, args={"mechanism": "switch"})
+                tracer.span("trainer", "iteration", start, env.now,
+                            args={"iteration": index})
