@@ -607,6 +607,12 @@ def cmd_trend(args: argparse.Namespace) -> int:
         for snapshot in snapshots:
             snapshot.results = [r for r in snapshot.results if r.scenario_id in keep]
         snapshots = [s for s in snapshots if s.results]
+        if not snapshots and not args.bisect:
+            # A scenario with no committed artifact versions yet is a normal
+            # state (freshly registered scenario), not a harness failure.
+            names = ", ".join(sorted(keep)) if keep else ", ".join(args.scenario)
+            print(f"no history: no committed artifact versions yet for {names}")
+            return 0
     if args.bisect:
         from .trend import metric_series
 

@@ -377,6 +377,36 @@ SCENARIOS: Tuple[ScenarioConfig, ...] = (
         tags=("throughput", "variant", "smoke"),
     ),
     ScenarioConfig(
+        id="fleet_smoke",
+        description="Fleet-engine smoke: the three barrier shapes (plain, "
+                    "anchored, streamed) at 7B @ 256 GPUs on the fleet-stepped "
+                    "path, 1/8-scale batch.",
+        kind="throughput",
+        systems=("verl", "one_step", "stream_gen"),
+        model_size="7B",
+        gpu_scales=(256,),
+        iterations=2,
+        warmup=1,
+        batch_scale=0.125,
+        timeout_s=120.0,
+        tags=("smoke", "fleet", "throughput"),
+    ),
+    ScenarioConfig(
+        id="datacenter_1k",
+        description="Datacenter-scale fleet: 7B @ 4096 GPUs (1792-2048 rollout "
+                    "replicas per system) at full paper batch — feasible only "
+                    "on the fleet-stepped SoA engine.",
+        kind="throughput",
+        systems=("verl", "one_step", "stream_gen"),
+        model_size="7B",
+        gpu_scales=(4096,),
+        iterations=3,
+        warmup=1,
+        batch_scale=1.0,
+        timeout_s=600.0,
+        tags=("fleet", "datacenter", "throughput"),
+    ),
+    ScenarioConfig(
         id="staleness_bound_7b",
         description="Staleness-bound sweep: one-step pipelined baseline with "
                     "k ∈ {1, 2, 4, 8}.",

@@ -110,6 +110,17 @@ PLACEMENTS: Dict[Tuple[str, str, int], Tuple[int, int]] = {
     ("laminar", "72B", 1024): (768, 256),
 }
 
+#: Datacenter-scale placements beyond Table 2, extrapolated with each
+#: system's scaling recipe (verl stays colocated; the pipelined systems keep
+#: the 256-GPU trainer:rollout ratio trend).  They feed the fleet-scale bench
+#: scenarios (``datacenter_1k``) and are deliberately *excluded* from
+#: :func:`table2_rows`, which reproduces the paper's table verbatim.
+EXTRAPOLATED_PLACEMENTS: Dict[Tuple[str, str, int], Tuple[int, int]] = {
+    ("verl", "7B", 4096): (4096, 0),        # 2048 rollout replicas at TP=2
+    ("one_step", "7B", 4096): (512, 3584),  # 1792 rollout replicas at TP=2
+    ("stream_gen", "7B", 4096): (512, 3584),
+}
+
 #: GPU scales evaluated per model size (Fig 11).
 MODEL_SCALES: Dict[str, List[int]] = {
     "7B": [16, 32, 64, 128, 256],
@@ -138,9 +149,18 @@ def rollout_tensor_parallel(system: str, model_size: str) -> int:
 
 
 def placement_for(system: str, model_size: str, total_gpus: int) -> Tuple[int, int]:
-    """Trainer/rollout GPU split from Table 2 (variants follow their base)."""
+    """Trainer/rollout GPU split from Table 2 (variants follow their base).
+
+    Datacenter-scale points past the end of Table 2 resolve through
+    :data:`EXTRAPOLATED_PLACEMENTS`.
+    """
+    key = (_placement_base(system), model_size, total_gpus)
     try:
-        return PLACEMENTS[(_placement_base(system), model_size, total_gpus)]
+        return PLACEMENTS[key]
+    except KeyError:
+        pass
+    try:
+        return EXTRAPOLATED_PLACEMENTS[key]
     except KeyError:
         raise KeyError(
             f"no Table 2 placement for system={system!r}, model={model_size!r}, "

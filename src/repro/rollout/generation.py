@@ -119,6 +119,19 @@ class SequenceStatus:
     DONE = "done"
 
 
+#: Integer status codes used by the slot-indexed status array (the
+#: authoritative residency state of the vectorized engine; the string
+#: ``SequenceState.status`` field is re-synchronised from it lazily).
+_ST_QUEUED = 0
+_ST_DECODING = 1
+_ST_ENV_WAIT = 2
+_STATUS_NAMES = (
+    SequenceStatus.QUEUED,
+    SequenceStatus.DECODING,
+    SequenceStatus.ENV_WAIT,
+)
+
+
 @dataclass
 class SequenceState:
     """Runtime state of one trajectory on a replica."""
@@ -202,6 +215,24 @@ class _SeqVector:
         self.rows[self.n] = row
         self.n += 1
 
+    def extend(self, ids: np.ndarray, slots: np.ndarray, rows: np.ndarray) -> None:
+        """Append many entries at once, preserving input order."""
+        count = len(ids)
+        if not count:
+            return
+        need = self.n + count
+        if need > len(self.ids):
+            capacity = len(self.ids)
+            while capacity < need:
+                capacity *= 2
+            self.ids = grow_array(self.ids, capacity)
+            self.slots = grow_array(self.slots, capacity)
+            self.rows = grow_array(self.rows, capacity)
+        self.ids[self.n:need] = ids
+        self.slots[self.n:need] = slots
+        self.rows[self.n:need] = rows
+        self.n = need
+
     def pop(self) -> Tuple[int, int, int]:
         """Remove and return the most recently appended entry."""
         self.n -= 1
@@ -222,6 +253,14 @@ class _SeqVector:
 
     def delete_positions(self, positions: Sequence[int]) -> None:
         """Delete the entries at ``positions``, preserving the order of the rest."""
+        if len(positions) == 1:
+            position = int(positions[0])
+            stop = self.n
+            for name in ("ids", "slots", "rows"):
+                arr = getattr(self, name)
+                arr[position:stop - 1] = arr[position + 1:stop]
+            self.n = stop - 1
+            return
         keep = np.ones(self.n, dtype=bool)
         keep[positions] = False
         kept = int(keep.sum())
@@ -237,6 +276,69 @@ class _SeqVector:
             return False
         self.delete_positions(hits[:1])
         return True
+
+
+class _IdQueue:
+    """FIFO of waiting sequence ids (the vLLM waiting queue).
+
+    A head pointer over a plain list makes :meth:`popleft` / :meth:`popleft_n`
+    O(1) amortised — the admission scan runs on every ``next_event_in`` /
+    ``advance`` loop, so head pops must not be ``list.pop(0)``.  Preempted
+    sequences go back to the *front* (:meth:`appendleft`, vLLM recompute
+    order) by reclaiming the dead prefix when one exists.
+    """
+
+    __slots__ = ("_items", "_head")
+
+    def __init__(self) -> None:
+        self._items: List[int] = []
+        self._head = 0
+
+    def __len__(self) -> int:
+        return len(self._items) - self._head
+
+    def __bool__(self) -> bool:
+        return len(self._items) > self._head
+
+    def head(self) -> int:
+        return self._items[self._head]
+
+    def append(self, seq_id: int) -> None:
+        self._items.append(seq_id)
+
+    def appendleft(self, seq_id: int) -> None:
+        if self._head:
+            self._head -= 1
+            self._items[self._head] = seq_id
+        else:
+            self._items.insert(0, seq_id)
+
+    def popleft(self) -> int:
+        item = self._items[self._head]
+        self._head += 1
+        self._compact()
+        return item
+
+    def popleft_n(self, count: int) -> None:
+        self._head += count
+        self._compact()
+
+    def remove(self, seq_id: int) -> None:
+        index = self._items.index(seq_id, self._head)
+        del self._items[index]
+
+    def as_array(self) -> np.ndarray:
+        """The queued ids in FIFO order as an int64 array (a copy)."""
+        return np.array(self._items[self._head:], dtype=np.int64)
+
+    def head_array(self, count: int) -> np.ndarray:
+        """The first ``count`` queued ids in FIFO order (a copy)."""
+        return np.array(self._items[self._head:self._head + count], dtype=np.int64)
+
+    def _compact(self) -> None:
+        if self._head > 64 and self._head * 2 >= len(self._items):
+            del self._items[: self._head]
+            self._head = 0
 
 
 class ReplicaGenerationState:
@@ -260,7 +362,7 @@ class ReplicaGenerationState:
         self.clock = 0.0
         self.stats = ReplicaStats()
         self._sequences: Dict[int, SequenceState] = {}
-        self._queued: List[int] = []
+        self._queued = _IdQueue()
         #: Decode and env-wait sets: incrementally maintained (id, slot, row)
         #: vectors in the same order the scalar engine kept its id lists.
         self._dec = _SeqVector()
@@ -270,6 +372,13 @@ class ReplicaGenerationState:
         #: Bumped on every mutation of the decode batch (admission, removal,
         #: preemption, token growth); keys the incremental event caches below.
         self._mutation = 0
+        #: True while the waiting queue is known to be inadmissible (head does
+        #: not fit, or no concurrency headroom).  Kept exact by clearing at
+        #: every event that can unblock admission: KV rows freed or queue /
+        #: concurrency changed (finish, preemption, add/remove).  Token
+        #: growth only shrinks headroom, so decode windows need not clear it
+        #: — that is what keeps the steady-state admission check O(1).
+        self._admit_blocked = False
         self._step_cache: Tuple[int, float] = (-1, 0.0)
         self._min_seg_cache: Tuple[int, int] = (-1, 0)
         self._env_min_cache: Tuple[int, float] = (-1, math.inf)
@@ -295,6 +404,24 @@ class ReplicaGenerationState:
         self._a_done_turn = np.zeros(_INITIAL_SLOTS, dtype=np.int64)
         self._a_env = np.full(_INITIAL_SLOTS, math.inf, dtype=np.float64)
         self._a_last_ver = np.full(_INITIAL_SLOTS, -1, dtype=np.int64)
+        # Control-tail SoA: residency status, turn cursor, and per-slot views
+        # into the flat turn-schedule pools, so segment finishes / env-wait
+        # transitions / admission scans are batch gathers instead of
+        # per-sequence attribute walks.
+        self._a_status = np.zeros(_INITIAL_SLOTS, dtype=np.int8)
+        self._a_turn = np.zeros(_INITIAL_SLOTS, dtype=np.int64)
+        self._a_nturns = np.zeros(_INITIAL_SLOTS, dtype=np.int64)
+        self._a_reprefill = np.zeros(_INITIAL_SLOTS, dtype=bool)
+        self._a_sched_off = np.zeros(_INITIAL_SLOTS, dtype=np.int64)
+        self._a_sched_cap = np.zeros(_INITIAL_SLOTS, dtype=np.int64)
+        #: Flat schedule pools: slot ``s`` owns ``_sched_seg[off:off+cap]``
+        #: (segment lengths) and ``_sched_env[...]`` (env latencies), where
+        #: ``off = _a_sched_off[s]``.  Regions are reused across the sequences
+        #: a slot hosts; a slot upgrades to a fresh tail region only when a
+        #: new occupant needs more turns than the slot ever held.
+        self._sched_seg = np.zeros(4 * _INITIAL_SLOTS, dtype=np.int64)
+        self._sched_env = np.zeros(4 * _INITIAL_SLOTS, dtype=np.float64)
+        self._sched_len = 0
 
     # ------------------------------------------------------------------ slots
     def _alloc_slot(self, seq: SequenceState) -> int:
@@ -302,7 +429,9 @@ class ReplicaGenerationState:
             old = len(self._a_seg_rem)
             new = 2 * old
             for name in ("_a_seg_rem", "_a_gen", "_a_target", "_a_prompt",
-                         "_a_ctx", "_a_done_turn"):
+                         "_a_ctx", "_a_done_turn", "_a_status", "_a_turn",
+                         "_a_nturns", "_a_reprefill", "_a_sched_off",
+                         "_a_sched_cap"):
                 setattr(self, name, grow_array(getattr(self, name), new))
             self._a_env = grow_array(self._a_env, new, fill=math.inf)
             self._a_last_ver = grow_array(self._a_last_ver, new, fill=-1)
@@ -317,6 +446,27 @@ class ReplicaGenerationState:
         self._a_done_turn[slot] = seq.tokens_done_in_turn
         self._a_env[slot] = seq.env_return_time
         self._a_last_ver[slot] = -1
+        self._a_status[slot] = _ST_QUEUED
+        self._a_turn[slot] = seq.turn_index
+        schedule = seq.schedule
+        num_turns = schedule.num_turns
+        self._a_nturns[slot] = num_turns
+        self._a_reprefill[slot] = seq.needs_reprefill
+        if num_turns > self._a_sched_cap[slot]:
+            offset = self._sched_len
+            need = offset + num_turns
+            if need > len(self._sched_seg):
+                capacity = len(self._sched_seg)
+                while capacity < need:
+                    capacity *= 2
+                self._sched_seg = grow_array(self._sched_seg, capacity)
+                self._sched_env = grow_array(self._sched_env, capacity)
+            self._a_sched_off[slot] = offset
+            self._a_sched_cap[slot] = num_turns
+            self._sched_len = need
+        offset = int(self._a_sched_off[slot])
+        self._sched_seg[offset:offset + num_turns] = schedule.segments
+        self._sched_env[offset:offset + num_turns] = schedule.env_latencies
         self._slots[seq.seq_id] = slot
         return slot
 
@@ -328,14 +478,45 @@ class ReplicaGenerationState:
         slot = self._slots[seq_id]
         seq = self._sequences[seq_id]
         seq.tokens_done_in_turn = int(self._a_done_turn[slot])
+        turn = int(self._a_turn[slot])
+        seq.turn_index = turn
+        seq.status = _STATUS_NAMES[self._a_status[slot]]
+        seq.env_return_time = float(self._a_env[slot])
+        seq.needs_reprefill = bool(self._a_reprefill[slot])
         trajectory = seq.trajectory
+        trajectory.turns_done = turn
         trajectory.generated_tokens = min(
             trajectory.target_tokens, int(self._a_gen[slot])
         )
 
     def _sync_all(self) -> None:
-        for seq_id in self._sequences:
-            self._sync_sequence(seq_id)
+        sequences = self._sequences
+        if not sequences:
+            return
+        # Batch the array→object write-back: one C-level ``tolist`` per field
+        # instead of six numpy scalar extractions per sequence.
+        slots = np.fromiter(
+            (self._slots[seq_id] for seq_id in sequences),
+            dtype=np.int64, count=len(sequences),
+        )
+        done_turn = self._a_done_turn[slots].tolist()
+        turns = self._a_turn[slots].tolist()
+        statuses = self._a_status[slots].tolist()
+        env_times = self._a_env[slots].tolist()
+        reprefill = self._a_reprefill[slots].tolist()
+        generated = self._a_gen[slots].tolist()
+        for index, seq in enumerate(sequences.values()):
+            seq.tokens_done_in_turn = done_turn[index]
+            turn = turns[index]
+            seq.turn_index = turn
+            seq.status = _STATUS_NAMES[statuses[index]]
+            seq.env_return_time = env_times[index]
+            seq.needs_reprefill = reprefill[index]
+            trajectory = seq.trajectory
+            trajectory.turns_done = turn
+            trajectory.generated_tokens = min(
+                trajectory.target_tokens, generated[index]
+            )
 
     # ------------------------------------------------------------------ intake
     def add_sequences(self, sequences: Sequence[SequenceState]) -> None:
@@ -347,6 +528,7 @@ class ReplicaGenerationState:
             self._sequences[seq.seq_id] = seq
             self._alloc_slot(seq)
             self._queued.append(seq.seq_id)
+        self._admit_blocked = False
         self._try_admit()
 
     def remove_sequences(self, seq_ids: Sequence[int]) -> List[SequenceState]:
@@ -370,6 +552,7 @@ class ReplicaGenerationState:
             removed.append(seq)
         if removed:
             self._mutation += 1
+            self._admit_blocked = False
         self._try_admit()
         return removed
 
@@ -476,29 +659,87 @@ class ReplicaGenerationState:
     admission_lookahead_tokens: int = 256
 
     def _try_admit(self) -> None:
-        admitted_any = True
-        while admitted_any and self._queued:
-            admitted_any = False
-            if self._dec.n + self._env.n >= self.max_concurrency:
-                return
-            seq_id = self._queued[0]
-            seq = self._sequences[seq_id]
-            slot = self._slots[seq_id]
-            context = int(self._a_ctx[slot])
-            needed = context + self.admission_lookahead_tokens
-            if not self.kvcache.can_allocate(needed):
-                return
-            self._queued.pop(0)
-            row = self.kvcache.allocate(seq_id, context + 1)
-            seq.status = SequenceStatus.DECODING
-            self._dec.append(seq_id, slot, row)
-            if seq.needs_reprefill:
-                self.stats.reprefill_tokens += context
-                seq.needs_reprefill = False
-            else:
-                self.stats.prompt_tokens_prefilled += seq.trajectory.prompt.prompt_tokens
-            admitted_any = True
-            self._mutation += 1
+        """Admit waiting sequences head-first while cache and concurrency allow.
+
+        A scalar head check keeps the steady state (cache full, nothing
+        admissible) O(1); when the head fits, one vectorized prefix scan over
+        the whole waiting queue decides every admission of this call at once
+        — bit-identical to the scalar admit-one-recheck loop because
+        admission is strictly FIFO and each admission consumes exactly the
+        blocks the prefix sum accounts for.
+        """
+        queued = self._queued
+        if not queued or self._admit_blocked:
+            return
+        capacity = self.max_concurrency - self._dec.n - self._env.n
+        if capacity <= 0:
+            self._admit_blocked = True
+            return
+        kvcache = self.kvcache
+        lookahead = self.admission_lookahead_tokens
+        head_context = int(self._a_ctx[self._slots[queued.head()]])
+        if not kvcache.can_allocate(head_context + lookahead):
+            self._admit_blocked = True
+            return
+        # Never scan past what concurrency allows: the steady state admits a
+        # handful of sequences per call regardless of queue depth.
+        limit = min(len(queued), capacity)
+        if limit <= 4:
+            # Tiny admission: the scalar admit-one-recheck loop beats the
+            # array set-up (the vectorized path below is its prefix-scan
+            # formulation — same FIFO decision, same allocation order).
+            admitted = 0
+            while admitted < limit:
+                seq_id = queued.head()
+                slot = self._slots[seq_id]
+                context = int(self._a_ctx[slot])
+                if admitted and not kvcache.can_allocate(context + lookahead):
+                    break
+                queued.popleft()
+                row = kvcache.allocate(seq_id, context + 1)
+                self._a_status[slot] = _ST_DECODING
+                self._dec.append(seq_id, slot, row)
+                if self._a_reprefill[slot]:
+                    self.stats.reprefill_tokens += context
+                    self._a_reprefill[slot] = False
+                else:
+                    self.stats.prompt_tokens_prefilled += int(self._a_prompt[slot])
+                admitted += 1
+            self._mutation += admitted
+            # Either concurrency is exhausted or the next head does not fit;
+            # a clearing event re-arms the scan.
+            self._admit_blocked = True
+            return
+        ids = queued.head_array(limit)
+        slots = np.fromiter(
+            (self._slots[int(i)] for i in ids), dtype=np.int64, count=len(ids)
+        )
+        contexts = self._a_ctx[slots]
+        alloc_blocks = kvcache.blocks_for_many(contexts + 1)
+        need_blocks = kvcache.blocks_for_many(contexts + lookahead)
+        used_before = kvcache.used_blocks + np.concatenate(
+            ([0], np.cumsum(alloc_blocks[:-1]))
+        )
+        fits = used_before + need_blocks <= kvcache.config.total_blocks
+        count = len(ids) if fits.all() else int(np.argmin(fits))
+        count = min(count, capacity)
+        if count <= 0:
+            self._admit_blocked = True
+            return
+        admit_ids = ids[:count]
+        admit_slots = slots[:count]
+        queued.popleft_n(count)
+        rows = kvcache.allocate_many(admit_ids, contexts[:count] + 1)
+        self._a_status[admit_slots] = _ST_DECODING
+        self._dec.extend(admit_ids, admit_slots, rows)
+        reprefill = self._a_reprefill[admit_slots]
+        self.stats.reprefill_tokens += int(contexts[:count][reprefill].sum())
+        self.stats.prompt_tokens_prefilled += int(
+            self._a_prompt[admit_slots[~reprefill]].sum()
+        )
+        self._a_reprefill[admit_slots] = False
+        self._mutation += count
+        self._admit_blocked = True
 
     def _preempt_one(self) -> bool:
         """Preempt the most recently admitted decoding sequence (vLLM recompute).
@@ -507,14 +748,14 @@ class ReplicaGenerationState:
         """
         if self._dec.n <= 1:
             return False
-        seq_id, _slot, _row = self._dec.pop()
-        seq = self._sequences[seq_id]
+        seq_id, slot, _row = self._dec.pop()
         self.kvcache.free(seq_id)
-        seq.status = SequenceStatus.QUEUED
-        seq.needs_reprefill = True
-        self._queued.insert(0, seq_id)
+        self._a_status[slot] = _ST_QUEUED
+        self._a_reprefill[slot] = True
+        self._queued.appendleft(seq_id)
         self.stats.preemptions += 1
         self._mutation += 1
+        self._admit_blocked = False
         return True
 
     def _ensure_growth_capacity(self, tokens: int) -> None:
@@ -543,13 +784,10 @@ class ReplicaGenerationState:
         if not ready.any():
             return
         positions = np.flatnonzero(ready)
-        for p in positions:
-            seq_id, slot, row = int(env.ids[p]), int(env.slots[p]), int(env.rows[p])
-            seq = self._sequences[seq_id]
-            seq.status = SequenceStatus.DECODING
-            seq.env_return_time = math.inf
-            self._a_env[slot] = math.inf
-            self._dec.append(seq_id, slot, row)
+        slots = env.slots[positions]
+        self._a_env[slots] = math.inf
+        self._a_status[slots] = _ST_DECODING
+        self._dec.extend(env.ids[positions], slots, env.rows[positions])
         env.delete_positions(positions)
         self._mutation += 1
 
@@ -565,7 +803,8 @@ class ReplicaGenerationState:
         if not self._sequences:
             return None
         self._release_env_returns()
-        self._try_admit()
+        if self._queued and not self._admit_blocked:
+            self._try_admit()
         candidates: List[float] = []
         if self._dec.n:
             step = self.current_step_time()
@@ -592,7 +831,8 @@ class ReplicaGenerationState:
         completed_now: List[Trajectory] = []
         while self.clock < target - _EPS:
             self._release_env_returns()
-            self._try_admit()
+            if self._queued and not self._admit_blocked:
+                self._try_admit()
             if not self._dec.n:
                 # Nothing to decode: jump to the next env return (or the target).
                 if self._env.n:
@@ -668,49 +908,115 @@ class ReplicaGenerationState:
         if self.trace_samples is not None:
             self.trace_samples.append((self.clock, generated))
         finished_positions = np.flatnonzero(new_seg == 0)
-        if len(finished_positions):
+        if len(finished_positions) == 1:
+            self._finish_one(finished_positions.item(0), completed_now)
+            self._mutation += 1
+        elif len(finished_positions):
             self._finish_segments(finished_positions, completed_now)
             self._mutation += 1
-        self._try_admit()
+        if self._queued and not self._admit_blocked:
+            self._try_admit()
 
     def _finish_segments(
         self, positions: np.ndarray, completed_now: List[Trajectory]
     ) -> None:
-        """Per-sequence control tail for sequences whose segment just ended."""
+        """Batched control tail for sequences whose segment just ended.
+
+        Splits the finished positions into the last-turn batch (KV rows are
+        recycled in one :meth:`KVCache.free_many` call, trajectories
+        finalised) and the turn-advance batch (segment counters reset and
+        env-wait transitions applied as vector gathers/scatters); per-object
+        Python survives only on completed trajectories, which each pass here
+        exactly once.
+        """
         dec = self._dec
-        leaving: List[int] = []
-        for position in positions:
-            seq_id = int(dec.ids[position])
-            slot = int(dec.slots[position])
-            seq = self._sequences[seq_id]
-            env_latency = seq.schedule.env_latencies[seq.turn_index]
-            last_turn = seq.turn_index == seq.schedule.num_turns - 1
-            if last_turn:
-                leaving.append(int(position))
-                self.kvcache.free(seq_id)
+        if len(positions) == 1:
+            self._finish_one(int(positions[0]), completed_now)
+            return
+        positions = np.asarray(positions)
+        slots = dec.slots[positions]
+        turns = self._a_turn[slots]
+        offsets = self._a_sched_off[slots]
+        last = turns + 1 == self._a_nturns[slots]
+        env_latencies = self._sched_env[offsets + turns]
+
+        done_positions = positions[last]
+        if len(done_positions):
+            done_ids = dec.ids[done_positions]
+            self.kvcache.free_many(done_ids.tolist())
+            self._admit_blocked = False
+            clock = self.clock
+            for seq_id in done_ids.tolist():
+                seq = self._sequences[seq_id]
                 self._sync_sequence(seq_id)
                 del self._sequences[seq_id]
                 self._release_slot(seq_id)
                 seq.status = SequenceStatus.DONE
-                seq.trajectory.finish_time = self.clock
-                seq.trajectory.replica_id = self.replica_id
-                seq.trajectory.turns_done = seq.schedule.num_turns
-                completed_now.append(seq.trajectory)
-                self.stats.trajectories_completed += 1
-            else:
-                seq.turn_index += 1
-                seq.tokens_done_in_turn = 0
-                self._a_done_turn[slot] = 0
-                self._a_seg_rem[slot] = seq.schedule.segments[seq.turn_index]
-                seq.trajectory.turns_done = seq.turn_index
-                if env_latency > 0:
-                    leaving.append(int(position))
-                    seq.status = SequenceStatus.ENV_WAIT
-                    seq.env_return_time = self.clock + env_latency
-                    self._a_env[slot] = seq.env_return_time
-                    self._env.append(seq_id, slot, int(dec.rows[position]))
-        if leaving:
-            dec.delete_positions(leaving)
+                trajectory = seq.trajectory
+                trajectory.finish_time = clock
+                trajectory.replica_id = self.replica_id
+                trajectory.turns_done = seq.schedule.num_turns
+                completed_now.append(trajectory)
+            self.stats.trajectories_completed += len(done_positions)
+
+        advancing = ~last
+        if advancing.any():
+            adv_slots = slots[advancing]
+            next_turns = turns[advancing] + 1
+            self._a_turn[adv_slots] = next_turns
+            self._a_done_turn[adv_slots] = 0
+            self._a_seg_rem[adv_slots] = self._sched_seg[offsets[advancing] + next_turns]
+            waiting = env_latencies[advancing] > 0
+            if waiting.any():
+                wait_positions = positions[advancing][waiting]
+                wait_slots = dec.slots[wait_positions]
+                self._a_env[wait_slots] = self.clock + env_latencies[advancing][waiting]
+                self._a_status[wait_slots] = _ST_ENV_WAIT
+                self._env.extend(
+                    dec.ids[wait_positions], wait_slots, dec.rows[wait_positions]
+                )
+                done_positions = np.concatenate((done_positions, wait_positions))
+
+        if len(done_positions):
+            dec.delete_positions(done_positions)
+
+    def _finish_one(self, position: int, completed_now: List[Trajectory]) -> None:
+        """Scalar fast path of :meth:`_finish_segments` for a lone finisher.
+
+        A decode window usually ends exactly one segment; the batched
+        gather/scatter machinery costs more than it saves there.  Decision
+        logic and side-effect order mirror the batched path one-to-one.
+        """
+        dec = self._dec
+        slot = dec.slots.item(position)
+        turn = self._a_turn.item(slot)
+        offset = self._a_sched_off.item(slot)
+        seq_id = dec.ids.item(position)
+        if turn + 1 == self._a_nturns.item(slot):
+            self.kvcache.free(seq_id)
+            self._admit_blocked = False
+            seq = self._sequences[seq_id]
+            self._sync_sequence(seq_id)
+            del self._sequences[seq_id]
+            self._release_slot(seq_id)
+            seq.status = SequenceStatus.DONE
+            trajectory = seq.trajectory
+            trajectory.finish_time = self.clock
+            trajectory.replica_id = self.replica_id
+            trajectory.turns_done = turn + 1
+            completed_now.append(trajectory)
+            self.stats.trajectories_completed += 1
+            dec.delete_positions((position,))
+            return
+        self._a_turn[slot] = turn + 1
+        self._a_done_turn[slot] = 0
+        self._a_seg_rem[slot] = self._sched_seg.item(offset + turn + 1)
+        env_latency = self._sched_env.item(offset + turn)
+        if env_latency > 0:
+            self._a_env[slot] = self.clock + env_latency
+            self._a_status[slot] = _ST_ENV_WAIT
+            self._env.append(seq_id, slot, dec.rows.item(position))
+            dec.delete_positions((position,))
 
     def enable_trace_sampling(self) -> None:
         """Arm the decode loop's trace-sample buffer (idempotent)."""

@@ -14,10 +14,24 @@
   (:func:`drain_replica`, :func:`drain_replica_anchored`) joined by the
   ``AllOf`` :func:`generation_barrier` for the batch-synchronous systems,
   and interruptible drivers (:func:`replica_driver`, :class:`ReplicaFleet`)
-  for the continuous ones.
+  for the continuous ones;
+* the fleet stepping layer (:mod:`repro.runtime.fleet`) — the default
+  execution mode: one engine process per scenario drives every replica off a
+  packed :class:`FleetState` SoA block with bit-identical event times
+  (:func:`fleet_generation_barrier`, :class:`FleetStepper`); the per-replica
+  process shape remains available via ``stepping("process")`` as the
+  equivalence-test reference.
 """
 
 from .components import CompletionPipeline, GlobalWeightSync, RelayWeightSync
+from .fleet import (
+    FleetState,
+    FleetStepper,
+    fleet_generation_barrier,
+    set_stepping_mode,
+    stepping,
+    stepping_mode,
+)
 from .harness import (
     EventBox,
     GenerationOutcome,
@@ -32,6 +46,8 @@ from .workload import WorkloadBundle
 __all__ = [
     "CompletionPipeline",
     "EventBox",
+    "FleetState",
+    "FleetStepper",
     "GenerationOutcome",
     "GlobalWeightSync",
     "RelayWeightSync",
@@ -39,6 +55,10 @@ __all__ = [
     "WorkloadBundle",
     "drain_replica",
     "drain_replica_anchored",
+    "fleet_generation_barrier",
     "generation_barrier",
     "replica_driver",
+    "set_stepping_mode",
+    "stepping",
+    "stepping_mode",
 ]

@@ -36,6 +36,7 @@ import numpy as np
 from ..rollout.generation import ReplicaGenerationState
 from ..sim.engine import Environment, Event, Interrupt, Process
 from ..types import Trajectory
+from .fleet import FleetStepper, fleet_generation_barrier, stepping_mode
 
 #: Numerical slack when comparing simulated times (mirrors the replica engine).
 _EPS = 1e-9
@@ -228,7 +229,16 @@ def generation_barrier(
     ``on_complete`` at their exact finish instants — the mode the pipelined
     systems use so the barrier's join time equals the local stage arithmetic
     bit for bit.
+
+    Under the default ``"fleet"`` stepping mode
+    (:func:`repro.runtime.fleet.stepping_mode`) the whole barrier runs as a
+    single fleet drain (:func:`repro.runtime.fleet.fleet_generation_barrier`)
+    instead of N engine processes; the per-replica call sequences and every
+    externally observable event time are identical by contract.
     """
+    if stepping_mode() == "fleet":
+        outcome = yield from fleet_generation_barrier(env, replicas, origin, on_complete)
+        return outcome
     if origin is None:
         processes = [
             env.process(drain_replica(env, replica), name=f"drain-{replica.replica_id}")
@@ -278,9 +288,20 @@ class ReplicaFleet:
         self._drivers: Dict[int, Process] = {}
         self._refill_box = EventBox(env)
         self._data_box = EventBox(env)
+        self._stepper: Optional[FleetStepper] = None
 
     # -- driver lifecycle ---------------------------------------------------
     def spawn(self, replica_id: int) -> Process:
+        """Start driving ``replica_id``.
+
+        Under the ``"fleet"`` stepping mode all members share one
+        :class:`repro.runtime.fleet.FleetStepper` process; ``"process"`` mode
+        keeps the reference shape of one :func:`replica_driver` per replica.
+        """
+        if stepping_mode() == "fleet":
+            if self._stepper is None:
+                self._stepper = FleetStepper(self.env, self)
+            return self._stepper.spawn(replica_id)
         process = self.env.process(
             replica_driver(self.env, replica_id, self), name=f"replica-{replica_id}"
         )
@@ -294,6 +315,12 @@ class ReplicaFleet:
         sleeping driver: a repack moved trajectories, a stall was injected, a
         weight update arrived.  ``None`` touches every driver.
         """
+        if self._stepper is not None:
+            ids = (
+                self._stepper.live_ids() if replica_ids is None else list(replica_ids)
+            )
+            self._stepper.touch(ids)
+            return
         ids = list(self._drivers) if replica_ids is None else list(replica_ids)
         for replica_id in ids:
             process = self._drivers.get(replica_id)
@@ -312,6 +339,8 @@ class ReplicaFleet:
     def notify_refill(self) -> None:
         """Wake every driver blocked on the refill signal (budget freed)."""
         self._refill_box.notify()
+        if self._stepper is not None:
+            self._stepper.notify_refill()
 
     def notify_data(self) -> None:
         """Wake the trainer: the experience buffer can satisfy a batch."""

@@ -27,7 +27,12 @@ from .base import System, SystemCapabilities, register
 
 
 class _ContinuousFleet(ReplicaFleet):
-    """Driver hooks: top-up on idle, score completions straight into the buffer."""
+    """Driver hooks: top-up on idle, score completions straight into the buffer.
+
+    The hooks are stepping-mode agnostic: ``ReplicaFleet.spawn`` runs the
+    replicas under one ``FleetStepper`` process (default) or one driver
+    process each (``stepping("process")``), bit-identically either way.
+    """
 
     def __init__(self, env: Environment, system: "PartialRollout") -> None:
         super().__init__(env)

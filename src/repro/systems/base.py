@@ -178,11 +178,19 @@ class System(ABC):
         set the replicas run as anchored drains whose wake-ups land at
         ``origin + local clock`` and whose completions stream to
         ``on_complete`` at their exact finish instants.
+
+        This is the fleet-stepping hook for every barrier orchestration
+        (verl, one_step, stream_gen, semi_sync): under the default
+        ``repro.runtime.stepping_mode()`` the barrier runs as one fleet
+        process instead of one engine process per replica, bit-identically.
         """
         states = self.sample_batch_states(weight_version)
         replicas = self.make_replicas(self.num_generation_replicas(), weight_version)
+        buckets: List[List[SequenceState]] = [[] for _ in replicas]
         for index, state in enumerate(states):
-            replicas[index % len(replicas)].add_sequences([state])
+            buckets[index % len(replicas)].append(state)
+        for replica, bucket in zip(replicas, buckets):
+            replica.add_sequences(bucket)
         outcome = yield from generation_barrier(env, replicas, origin, on_complete)
         return outcome
 

@@ -35,6 +35,14 @@ Simulated time jumps from event to event (trajectory completions, trainer
 updates, repack checks, failures), so trainer/failure/repack timestamps are
 exact rather than aligned to simulation rounds.
 
+Under the default fleet stepping mode (:mod:`repro.runtime.fleet`), the
+per-replica drivers above are a *semantic* description: ``ReplicaFleet``
+runs them all from one ``FleetStepper`` process whose call sequence per
+replica is bit-identical to the dedicated-driver mode.  ``touch`` /
+``notify_refill`` / retirement (``replica()`` returning ``None``) are the
+hooks both modes share, so repack pulls, refills and failovers need no
+mode-specific code here.
+
 :class:`LaminarNoRepack` is the registered repack ablation (Fig 16 /
 Table 1): the same system with the repack mechanism disabled, as a composable
 registry variant rather than a post-construction hack.

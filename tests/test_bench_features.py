@@ -173,6 +173,21 @@ def test_cli_trend_without_artifacts_errors(tmp_path, capsys, monkeypatch):
     assert bench_main(["trend", "--no-git-history"]) == 1
 
 
+def test_cli_trend_scenario_without_history_reports_cleanly(
+    tmp_path, cheap_scenario, capsys, monkeypatch
+):
+    """A registered scenario with no committed artifact versions is a normal
+    state (e.g. freshly added), so a filtered trend reports it and exits 0."""
+    results = run_scenarios([cheap_scenario])
+    save_artifact(results, str(tmp_path / "BENCH_t.json"), configs=[cheap_scenario])
+    monkeypatch.chdir(tmp_path)
+    code = bench_main(["trend", "--no-git-history",
+                       "--scenario", "datacenter_1k"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "no history" in out and "datacenter_1k" in out
+
+
 # --------------------------------------------------------------------------- bisect
 def test_largest_step_finds_the_biggest_move_and_its_revisions():
     snapshots = [
