@@ -250,6 +250,12 @@ def build_parser() -> argparse.ArgumentParser:
                            metavar="SECONDS",
                            help="slack past a unit's budget before its lease is "
                                 "requeued (default: 30)")
+    serve_cmd.add_argument("--worker-timeout", type=float, default=None,
+                           metavar="SECONDS",
+                           help="drop a worker whose heartbeats stop for this "
+                                "long (default: 5x heartbeat; straggling "
+                                "workers are speculatively re-leased at 2.5x "
+                                "heartbeat either way)")
 
     worker_cmd = sub.add_parser(
         "worker", parents=[common],
@@ -670,6 +676,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     coordinator = Coordinator(
         host=host, port=port, max_attempts=args.max_attempts,
         heartbeat_s=args.heartbeat, lease_grace_s=args.lease_grace,
+        worker_timeout_s=args.worker_timeout,
         log=lambda message: serve_log.info("coordinator", message=message),
     ).start()
     try:

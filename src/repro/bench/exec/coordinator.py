@@ -15,6 +15,11 @@ Fault model
 * **Lease expiry**: a lease that outlives its unit budget plus grace is
   requeued even if the worker still heartbeats (a wedged unit that ignored
   its worker-side ``SIGALRM``).
+* **Straggling leases**: a lease whose holder has gone silent for
+  ``speculate_after_s`` (heartbeat-relative, long before the budget or the
+  worker-drop timeout) is speculatively re-leased to the rest of the fleet
+  *without* cancelling the original — whichever execution lands first wins
+  the idempotent ledger, and determinism makes the race unobservable.
 * **Retry budget**: each unit is granted at most ``max_attempts`` leases;
   past that, a synthetic non-ok :class:`UnitResult` is recorded so a
   poisonous unit cannot starve the run.
@@ -100,6 +105,9 @@ class _Lease:
         self.index = index
         self.worker_id = worker_id
         self.deadline = deadline
+        #: Set once the unit has been speculatively re-leased because this
+        #: lease's holder went silent; prevents repeat speculation.
+        self.speculated = False
 
 
 class Coordinator:
@@ -118,6 +126,7 @@ class Coordinator:
         heartbeat_s: float = DEFAULT_HEARTBEAT_S,
         worker_timeout_s: Optional[float] = None,
         lease_grace_s: float = DEFAULT_LEASE_GRACE_S,
+        speculate_after_s: Optional[float] = None,
         log: Optional[Callable[[str], None]] = None,
     ) -> None:
         if max_attempts <= 0:
@@ -130,6 +139,18 @@ class Coordinator:
             worker_timeout_s if worker_timeout_s is not None else 5.0 * heartbeat_s
         )
         self.lease_grace_s = lease_grace_s
+        # Straggler detection is heartbeat-relative: speculate well before
+        # the worker-drop timeout, so a wedged-but-connected worker (SIGSTOP,
+        # GC pause, swapping host) cannot stall the batch for its whole
+        # budget.  First result wins; determinism makes the race harmless.
+        self.speculate_after_s = (
+            speculate_after_s if speculate_after_s is not None
+            else 2.5 * heartbeat_s
+        )
+        if self.speculate_after_s <= 0:
+            raise ValueError("speculate_after_s must be positive")
+        #: Total speculative re-leases issued (introspection + tests).
+        self.speculations = 0
         self._log = log or (lambda message: None)
         self._listen = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listen.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -333,6 +354,23 @@ class Coordinator:
                 expired = [
                     lease for lease in self._leases.values() if now > lease.deadline
                 ]
+                straggling: List[_Lease] = []
+                for lease in self._leases.values():
+                    if lease.speculated or now > lease.deadline:
+                        continue
+                    worker = self._workers.get(lease.worker_id)
+                    if worker is None:
+                        continue  # drop path requeues momentarily
+                    idle_s = now - worker.last_seen
+                    # Past worker_timeout_s the drop path owns the lease.
+                    if not (self.speculate_after_s < idle_s <= self.worker_timeout_s):
+                        continue
+                    if lease.batch.aborted or lease.index in lease.batch.results:
+                        continue
+                    lease.speculated = True
+                    self._pending.appendleft((lease.batch, lease.index))
+                    self.speculations += 1
+                    straggling.append(lease)
             for worker in silent:
                 self._drop_worker(worker, "missed heartbeats")
             for lease in expired:
@@ -340,6 +378,14 @@ class Coordinator:
                     lease, "timeout",
                     f"lease {lease.lease_id} expired on worker {lease.worker_id}",
                 )
+            for lease in straggling:
+                unit = lease.batch.units[lease.index]
+                self._log(
+                    f"worker {lease.worker_id} straggling on {unit.label}; "
+                    f"speculatively re-leasing (first result wins)"
+                )
+                _log.debug("lease_speculated", unit=unit.label,
+                           worker=lease.worker_id, lease=lease.lease_id)
 
     def _serve_connection(self, sock: socket.socket, addr: Tuple[str, int]) -> None:
         try:

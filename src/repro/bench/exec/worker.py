@@ -17,8 +17,11 @@ simply replaced by requeueing its leases.
 
 from __future__ import annotations
 
+import os
+import random
 import socket
 import time
+import zlib
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from typing import Callable, Dict, Optional, Tuple
 
@@ -45,17 +48,34 @@ _log = get_run_logger("bench.exec.worker")
 
 def connect_with_retry(
     host: str, port: int, timeout_s: float = DEFAULT_CONNECT_TIMEOUT_S,
-    interval_s: float = 0.25,
+    interval_s: float = 0.25, max_interval_s: float = 5.0,
 ) -> socket.socket:
-    """Dial the coordinator, retrying until ``timeout_s`` elapses."""
+    """Dial the coordinator with capped exponential backoff until ``timeout_s``.
+
+    The delay doubles from ``interval_s`` up to ``max_interval_s`` with
+    jitter in ``[0.5, 1.5)`` of the nominal delay, seeded from
+    ``(host, port, pid)`` — deterministic for one agent, but a restarted
+    fleet of workers de-synchronises instead of thundering-herding a
+    coordinator that is still coming up.  Every attempt is recorded on the
+    ``bench.exec.worker`` run log at DEBUG.
+    """
     deadline = time.monotonic() + timeout_s
+    rng = random.Random(zlib.crc32(f"{host}:{port}:{os.getpid()}".encode()))
+    delay = interval_s
+    attempt = 0
     while True:
         try:
             return socket.create_connection((host, port), timeout=5.0)
-        except OSError:
-            if time.monotonic() >= deadline:
+        except OSError as exc:
+            attempt += 1
+            now = time.monotonic()
+            if now >= deadline:
                 raise
-            time.sleep(interval_s)
+            sleep_s = min(delay * (0.5 + rng.random()), deadline - now)
+            _log.debug("connect_retry", host=host, port=port, attempt=attempt,
+                       backoff_s=round(sleep_s, 3), error=str(exc))
+            time.sleep(sleep_s)
+            delay = min(delay * 2.0, max_interval_s)
 
 
 def run_worker(

@@ -3,9 +3,9 @@
 A :class:`ScenarioConfig` declaratively describes one benchmark scenario as a
 grid of (system × GPU scale × variant) units over the paper's evaluation
 settings.  The canonical :data:`SCENARIOS` registry covers throughput sweeps
-(Fig 11/12), convergence (Fig 13), fault injection (Fig 15), the repack
-ablation (Fig 16 / Table 1), the staleness-bound sweep and multi-turn tool
-workloads.  The matrix runner in :mod:`repro.bench.runner` expands and
+(Fig 11/12), convergence (Fig 13), fault injection (Fig 15), the adversarial
+chaos/straggler drills built on :mod:`repro.faults`, the repack ablation
+(Fig 16 / Table 1), the staleness-bound sweep and multi-turn tool workloads.  The matrix runner in :mod:`repro.bench.runner` expands and
 executes these grids; scenarios are resolved by exact id, glob pattern,
 substring or tag via :func:`select_scenarios`.
 """
@@ -29,6 +29,8 @@ KINDS = (
     "kvcache_lifecycle",
     "weight_sync",
     "broadcast_latency",
+    "chaos",
+    "straggler",
 )
 
 #: ``(key, value)`` pairs — hashable stand-in for a dict so the config stays frozen.
@@ -297,6 +299,48 @@ SCENARIOS: Tuple[ScenarioConfig, ...] = (
         batch_scale=0.125,
         timeout_s=240.0,
         tags=("fault",),
+    ),
+    ScenarioConfig(
+        id="chaos_7b",
+        description="Adversarial-infrastructure drill: one seeded composition "
+                    "of a correlated rack wave, a spot-preemption wave with "
+                    "warning lead, a transient straggler and a degraded-network "
+                    "window, injected into the Laminar simulator (7B, 64 GPUs). "
+                    "Each variant is an independent storm seed.",
+        kind="chaos",
+        systems=("laminar",),
+        model_size="7B",
+        gpu_scales=(64,),
+        variants=(
+            ("storm_a", ()),
+            ("storm_b", ()),
+        ),
+        iterations=6,
+        warmup=1,
+        batch_scale=0.125,
+        timeout_s=240.0,
+        tags=("chaos", "fault"),
+    ),
+    ScenarioConfig(
+        id="straggler_7b",
+        description="Straggler drill: seeded transient and persistent slowdown "
+                    "multipliers on rollout machines; Laminar preempts and "
+                    "requeues severe stragglers, waits out mild ones "
+                    "(7B, 64 GPUs).",
+        kind="straggler",
+        systems=("laminar",),
+        model_size="7B",
+        gpu_scales=(64,),
+        variants=(
+            ("transient", ()),
+            ("persistent", (("persistent", True),)),
+            ("severe", (("factor_min", 2.5), ("factor_max", 4.0))),
+        ),
+        iterations=6,
+        warmup=1,
+        batch_scale=0.125,
+        timeout_s=240.0,
+        tags=("chaos", "fault", "straggler"),
     ),
     ScenarioConfig(
         id="repack_ablation_32b",

@@ -33,6 +33,8 @@ PRIMARY_METRICS: Dict[str, Tuple[str, bool]] = {
     "convergence": ("final_reward", True),
     "repack_ablation": ("throughput_gain", True),
     "fault_injection": ("throughput_tok_s", True),
+    "chaos": ("throughput_tok_s", True),
+    "straggler": ("throughput_tok_s", True),
     "kvcache_lifecycle": ("mean_kvcache_utilization", True),
     "weight_sync": ("relay_speedup_vs_gpu_direct", True),
     "broadcast_latency": ("broadcast_s_at_max_scale", False),
@@ -223,6 +225,82 @@ def _run_fault_injection(unit: ScenarioUnit) -> Dict[str, float]:
     }
 
 
+#: Chaos counters surfaced by the Laminar runtime only when non-zero; copied
+#: into metrics when present so nominal runs keep their metric sets unchanged.
+_CHAOS_EXTRAS = (
+    "failures_handled",
+    "stragglers_handled",
+    "straggler_requeues",
+    "preemption_warnings",
+    "spot_preemptions",
+    "network_events",
+    "sync_retries",
+    "retry_backoff_total",
+)
+
+
+def _rollout_machines(config: SystemConfig) -> int:
+    from ..sim.cluster import GPUS_PER_MACHINE
+
+    return max(2, config.rollout_gpus // GPUS_PER_MACHINE)
+
+
+def _adversarial_system(unit: ScenarioUnit):
+    """Laminar system + seeded fault plan for a chaos/straggler unit.
+
+    The schedule derives entirely from ``unit.seed``, so the unit's metrics
+    are as deterministic as any nominal unit — the bit-identity contract
+    extends to adversarial runs.
+    """
+    from ..faults import FailurePlan
+    from ..systems import LaminarSystem
+
+    params = overrides_dict(unit.overrides)
+    if unit.kind == "chaos":
+        # Sized so the storm lands inside the measured run (~65 s simulated
+        # for the 1/8-scale 7B grid), not after it.
+        horizon = float(params.pop("chaos_horizon", 80.0))
+        config = _build_config(unit, params)
+        plan = FailurePlan.chaos(unit.seed, _rollout_machines(config), horizon)
+    elif unit.kind == "straggler":
+        persistent = bool(params.pop("persistent", False))
+        count = int(params.pop("straggler_count", 2))
+        factor_range = (
+            float(params.pop("factor_min", 1.5)),
+            float(params.pop("factor_max", 4.0)),
+        )
+        window = (
+            float(params.pop("window_start", 10.0)),
+            float(params.pop("window_end", 50.0)),
+        )
+        config = _build_config(unit, params)
+        machines = _rollout_machines(config)
+        plan = FailurePlan.stragglers(
+            unit.seed, machines, window, count=min(count, machines),
+            factor_range=factor_range, persistent=persistent,
+        )
+    else:  # pragma: no cover - guarded by _EXECUTORS / system_for_unit
+        raise ValueError(f"not an adversarial kind: {unit.kind!r}")
+    return LaminarSystem(config, failure_injector=plan.build_injector()), plan
+
+
+def _run_adversarial(unit: ScenarioUnit) -> Dict[str, float]:
+    system, plan = _adversarial_system(unit)
+    result = system.run()
+    metrics: Dict[str, float] = {
+        "throughput_tok_s": float(result.throughput(unit.warmup)),
+        "iterations_completed": float(len(result.iterations)),
+        "simulated_wall_clock_s": float(result.wall_clock),
+        "events_injected": float(len(plan.events)),
+        "training_continued": float(len(result.iterations) > 0),
+        "failures_handled": float(result.extras.get("failures_handled", 0.0)),
+    }
+    for key in _CHAOS_EXTRAS:
+        if key in result.extras:
+            metrics[key] = float(result.extras[key])
+    return metrics
+
+
 def _run_repack_ablation(unit: ScenarioUnit) -> Dict[str, float]:
     from ..experiments.generation_rate import replica_batch_cycle
 
@@ -343,6 +421,9 @@ def system_for_unit(unit: ScenarioUnit):
             )
         )
         return LaminarSystem(config, failure_injector=injector)
+    if unit.kind in ("chaos", "straggler"):
+        system, _plan = _adversarial_system(unit)
+        return system
     params.pop("staleness_profile", None)  # convergence-only knob
     return make_system(_build_config(unit, params))
 
@@ -352,6 +433,8 @@ _EXECUTORS: Dict[str, Callable[[ScenarioUnit], Dict[str, float]]] = {
     "staleness_bound": _run_throughput,
     "convergence": _run_convergence,
     "fault_injection": _run_fault_injection,
+    "chaos": _run_adversarial,
+    "straggler": _run_adversarial,
     "repack_ablation": _run_repack_ablation,
     "kvcache_lifecycle": _run_kvcache_lifecycle,
     "weight_sync": _run_weight_sync,

@@ -10,7 +10,7 @@ paper's Table 2 / Table 3 settings.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from .llm.model_spec import ModelSpec, get_model
 from .llm.parallelism import ParallelConfig, fsdp_trainer_config, megatron_trainer_config
@@ -46,6 +46,12 @@ class SystemConfig:
     seed: int = 0
     gpu: GPUSpec = H800
     max_tool_turns: int = 8
+    #: Persistent stragglers (repro.faults): ``(replica_id, factor)`` pairs.
+    #: Every system builds replicas through the shared workload, so the
+    #: slowdown applies identically to barrier and continuous orchestrations
+    #: in either stepping mode.  Factors multiply both decode step time and
+    #: environment latency; the empty default is the nominal cluster.
+    straggler_factors: Tuple[Tuple[int, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.trainer_gpus <= 0:
@@ -62,6 +68,12 @@ class SystemConfig:
             raise ValueError("num_iterations must be positive")
         if self.warmup_iterations < 0 or self.warmup_iterations >= self.num_iterations:
             raise ValueError("warmup_iterations must be in [0, num_iterations)")
+        for entry in self.straggler_factors:
+            replica_id, factor = entry
+            if replica_id < 0:
+                raise ValueError("straggler replica_id must be non-negative")
+            if factor <= 0:
+                raise ValueError("straggler factor must be positive")
 
     # -- derived objects -----------------------------------------------------------
     @property

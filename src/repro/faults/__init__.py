@@ -1,0 +1,36 @@
+"""repro.faults: composable, seeded adversarial-infrastructure schedules.
+
+Builders live in :mod:`repro.faults.plan`; the event/recovery vocabulary they
+lower into is :mod:`repro.systems.fault_tolerance`, and the Laminar runtime
+consumes the resulting :class:`~repro.systems.fault_tolerance.FailureInjector`
+in pure event time.  The whole subsystem is deterministic from unit seeds:
+fleet vs process stepping stay ``==`` under injected chaos.
+"""
+
+from ..systems.fault_tolerance import (
+    CRASH_KINDS,
+    FailureEvent,
+    FailureInjector,
+    FailureKind,
+    RecoveryModel,
+    RecoveryRecord,
+    failure_kind_description,
+    known_failure_kinds,
+    register_failure_kind,
+)
+from .plan import DEFAULT_RACK_SIZE, FailurePlan, rack_machines
+
+__all__ = [
+    "CRASH_KINDS",
+    "DEFAULT_RACK_SIZE",
+    "FailureEvent",
+    "FailureInjector",
+    "FailureKind",
+    "FailurePlan",
+    "RecoveryModel",
+    "RecoveryRecord",
+    "failure_kind_description",
+    "known_failure_kinds",
+    "rack_machines",
+    "register_failure_kind",
+]

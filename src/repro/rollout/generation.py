@@ -369,6 +369,12 @@ class ReplicaGenerationState:
         self._env = _SeqVector()
         self._completed: List[Trajectory] = []
         self._time_carry = 0.0
+        #: Straggler degradation (repro.faults): multipliers applied to the
+        #: decode step time and to environment latencies.  1.0 (the default)
+        #: is the exact pre-fault code path — the guards below skip the
+        #: multiply entirely, so healthy replicas stay bit-identical.
+        self._decode_slowdown = 1.0
+        self._env_slowdown = 1.0
         #: Bumped on every mutation of the decode batch (admission, removal,
         #: preemption, token growth); keys the incremental event caches below.
         self._mutation = 0
@@ -616,6 +622,8 @@ class ReplicaGenerationState:
         value = self.decode_model.decode_step_time(
             self._dec.n, int(self.mean_context_tokens())
         )
+        if self._decode_slowdown != 1.0:
+            value *= self._decode_slowdown
         self._step_cache = (self._mutation, value)
         return value
 
@@ -829,7 +837,15 @@ class ReplicaGenerationState:
             raise ValueError("dt must be non-negative")
         target = self.clock + dt
         completed_now: List[Trajectory] = []
-        while self.clock < target - _EPS:
+        # Enter the loop at least once for any positive window.  When the
+        # step time shrinks below already-accrued ``_time_carry`` (a slowdown
+        # clearing, or a batch-composition change after mass migration), the
+        # next-event window floors to ``_EPS`` and the guard alone would
+        # never admit it; the zero-width pass emits the carry-covered token
+        # and is a no-op otherwise.
+        pending = dt > 0.0
+        while pending or self.clock < target - _EPS:
+            pending = False
             self._release_env_returns()
             if self._queued and not self._admit_blocked:
                 self._try_admit()
@@ -939,6 +955,8 @@ class ReplicaGenerationState:
         offsets = self._a_sched_off[slots]
         last = turns + 1 == self._a_nturns[slots]
         env_latencies = self._sched_env[offsets + turns]
+        if self._env_slowdown != 1.0:
+            env_latencies = env_latencies * self._env_slowdown
 
         done_positions = positions[last]
         if len(done_positions):
@@ -1012,6 +1030,8 @@ class ReplicaGenerationState:
         self._a_done_turn[slot] = 0
         self._a_seg_rem[slot] = self._sched_seg.item(offset + turn + 1)
         env_latency = self._sched_env.item(offset + turn)
+        if self._env_slowdown != 1.0:
+            env_latency *= self._env_slowdown
         if env_latency > 0:
             self._a_env[slot] = self.clock + env_latency
             self._a_status[slot] = _ST_ENV_WAIT
@@ -1095,6 +1115,47 @@ class ReplicaGenerationState:
         if version < self.weight_version:
             raise ValueError("weight version cannot go backwards")
         self.weight_version = version
+
+    @property
+    def decode_slowdown(self) -> float:
+        return self._decode_slowdown
+
+    @property
+    def env_slowdown(self) -> float:
+        return self._env_slowdown
+
+    @property
+    def is_straggling(self) -> bool:
+        return self._decode_slowdown != 1.0 or self._env_slowdown != 1.0
+
+    def set_slowdown(self, decode: Optional[float] = None,
+                     env: Optional[float] = None) -> None:
+        """Apply straggler multipliers to decode step time / env latency.
+
+        A factor of 1.0 restores the nominal path.  The mutation bump
+        invalidates the step cache so the new factor takes effect at the
+        caller's next event; callers mutate only at the replica's current
+        clock (``catch_up`` first), which keeps fleet and process stepping
+        bit-identical.
+        """
+        changed = False
+        if decode is not None and decode != self._decode_slowdown:
+            if decode <= 0:
+                raise ValueError("decode slowdown must be positive")
+            # The carry is fractional progress toward the next token stored
+            # in *time* units; rescale it with the step time, or clearing a
+            # slowdown leaves carry > step and the next-event window
+            # collapses into a zero-width livelock.
+            self._time_carry *= decode / self._decode_slowdown
+            self._decode_slowdown = decode
+            changed = True
+        if env is not None and env != self._env_slowdown:
+            if env <= 0:
+                raise ValueError("env slowdown must be positive")
+            self._env_slowdown = env
+            changed = True
+        if changed:
+            self._mutation += 1
 
     # ------------------------------------------------------------------ batch API
     def run_to_completion(self, max_time: float = math.inf) -> Tuple[float, List[Trajectory]]:

@@ -60,6 +60,9 @@ class ScalarReplicaGenerationState:
         self._env_wait: List[int] = []
         self._completed: List[Trajectory] = []
         self._time_carry = 0.0
+        # Straggler multipliers (repro.faults); 1.0 keeps the nominal path.
+        self._decode_slowdown = 1.0
+        self._env_slowdown = 1.0
         self._mutation = 0
         self._step_cache: Tuple[int, float] = (-1, 0.0)
         self.prev_utilization = 0.0
@@ -141,6 +144,8 @@ class ScalarReplicaGenerationState:
         value = self.decode_model.decode_step_time(
             len(self._decoding), int(self.mean_context_tokens())
         )
+        if self._decode_slowdown != 1.0:
+            value *= self._decode_slowdown
         self._step_cache = (self._mutation, value)
         return value
 
@@ -238,7 +243,15 @@ class ScalarReplicaGenerationState:
             raise ValueError("dt must be non-negative")
         target = self.clock + dt
         completed_now: List[Trajectory] = []
-        while self.clock < target - _EPS:
+        # Enter the loop at least once for any positive window.  When the
+        # step time shrinks below already-accrued ``_time_carry`` (a slowdown
+        # clearing, or a batch-composition change after mass migration), the
+        # next-event window floors to ``_EPS`` and the guard alone would
+        # never admit it; the zero-width pass emits the carry-covered token
+        # and is a no-op otherwise.
+        pending = dt > 0.0
+        while pending or self.clock < target - _EPS:
+            pending = False
             self._release_env_returns()
             self._try_admit()
             if not self._decoding:
@@ -297,6 +310,8 @@ class ScalarReplicaGenerationState:
         for seq_id in finished_segment:
             seq = self._sequences[seq_id]
             env_latency = seq.schedule.env_latencies[seq.turn_index]
+            if self._env_slowdown != 1.0:
+                env_latency = env_latency * self._env_slowdown
             last_turn = seq.turn_index == seq.schedule.num_turns - 1
             if last_turn:
                 self._decoding.remove(seq_id)
@@ -347,6 +362,37 @@ class ScalarReplicaGenerationState:
         if version < self.weight_version:
             raise ValueError("weight version cannot go backwards")
         self.weight_version = version
+
+    @property
+    def decode_slowdown(self) -> float:
+        return self._decode_slowdown
+
+    @property
+    def env_slowdown(self) -> float:
+        return self._env_slowdown
+
+    @property
+    def is_straggling(self) -> bool:
+        return self._decode_slowdown != 1.0 or self._env_slowdown != 1.0
+
+    def set_slowdown(self, decode: Optional[float] = None,
+                     env: Optional[float] = None) -> None:
+        changed = False
+        if decode is not None and decode != self._decode_slowdown:
+            if decode <= 0:
+                raise ValueError("decode slowdown must be positive")
+            # Mirror of the vector engine: the time-unit carry rescales with
+            # the step time so fractional token progress is preserved.
+            self._time_carry *= decode / self._decode_slowdown
+            self._decode_slowdown = decode
+            changed = True
+        if env is not None and env != self._env_slowdown:
+            if env <= 0:
+                raise ValueError("env slowdown must be positive")
+            self._env_slowdown = env
+            changed = True
+        if changed:
+            self._mutation += 1
 
     # ------------------------------------------------------------------ batch API
     def run_to_completion(self, max_time: float = math.inf) -> Tuple[float, List[Trajectory]]:

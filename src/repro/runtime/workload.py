@@ -84,11 +84,25 @@ class WorkloadBundle:
         )
 
     def make_replica(self, replica_id: int, weight_version: int = 0) -> ReplicaGenerationState:
-        """Build one rollout replica over the shared decode model / KVCache."""
-        return ReplicaGenerationState(
+        """Build one rollout replica over the shared decode model / KVCache.
+
+        Persistent stragglers declared in ``config.straggler_factors`` attach
+        here, so the degradation reaches every system (barrier and
+        continuous) through the one replica factory they all share.  The
+        straggling entity is a physical *slot*: barrier systems mint fresh
+        replica ids every batch, so matching ``replica_id mod replica-count``
+        pins the slowdown to the same position in every generation.
+        """
+        replica = ReplicaGenerationState(
             replica_id=replica_id,
             decode_model=self.decode_model,
             kvcache_config=self.replica_config.kvcache_config(),
             max_concurrency=self.config.max_concurrency_per_replica,
             weight_version=weight_version,
         )
+        if self.config.straggler_factors:
+            count = self.config.num_rollout_replicas()
+            for straggler_id, factor in self.config.straggler_factors:
+                if replica_id % count == straggler_id % count:
+                    replica.set_slowdown(decode=factor, env=factor)
+        return replica

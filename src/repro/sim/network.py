@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Generator, Optional, Tuple
+from typing import Dict, Generator, Optional, Sequence, Tuple
 
 from .engine import Environment
 from .resources import Resource
@@ -60,6 +60,19 @@ class LinkSpec:
         if nbytes == 0:
             return self.startup
         return self.startup + nbytes / self.bandwidth
+
+    def scaled(self, factor: float) -> "LinkSpec":
+        """Degraded (or boosted) copy with bandwidth scaled by ``factor``.
+
+        Startup latency is unchanged — congestion and partial NIC failures
+        eat throughput, not the RTT floor.  ``factor == 1`` returns ``self``
+        so healthy paths keep the original (identity-comparable) spec.
+        """
+        if factor <= 0:
+            raise ValueError("bandwidth factor must be positive")
+        if factor == 1.0:
+            return self
+        return LinkSpec(f"{self.name}@x{factor:g}", self.bandwidth * factor, self.startup)
 
 
 RDMA_LINK = LinkSpec("rdma", RDMA_NIC_BANDWIDTH * NICS_PER_MACHINE, RDMA_STARTUP_LATENCY)
@@ -165,6 +178,80 @@ def storage_system_sync_time(nbytes: float, num_readers: int = 1) -> float:
     # shrinks linearly with concurrency.
     read = TCP_LINK.transfer_time(nbytes) * max(1, num_readers)
     return serialize + write + read
+
+
+# -- Degraded networks (repro.faults) -----------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for failed link operations.
+
+    The schedule is fully deterministic (no jitter): retry ``i`` waits
+    ``min(base_delay * multiplier**i, max_delay)`` seconds, for at most
+    ``max_retries`` attempts.  Simulated peers either all see an outage or
+    none do, so jitter would only perturb the bit-identity contract without
+    modelling anything.
+    """
+
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 8.0
+    max_retries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.base_delay <= 0 or self.multiplier < 1 or self.max_delay <= 0:
+            raise ValueError("retry delays must be positive and non-decreasing")
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be at least 1")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based)."""
+        return min(self.base_delay * self.multiplier ** attempt, self.max_delay)
+
+    def wait_through(self, outage: float) -> Tuple[float, int]:
+        """Total backoff and retry count to ride out an ``outage`` seconds gap.
+
+        Returns ``(wait, retries)`` where ``wait`` is the cumulative backoff
+        until the first retry that lands after the outage ends.  When the
+        budget runs out first, the caller waits for the outage to clear plus
+        one final (capped) backoff — the "gave up, operator re-drove it" cost.
+        """
+        if outage <= 0:
+            return 0.0, 0
+        elapsed = 0.0
+        for attempt in range(self.max_retries):
+            elapsed += self.delay(attempt)
+            if elapsed >= outage:
+                return elapsed, attempt + 1
+        return outage + self.delay(self.max_retries - 1), self.max_retries
+
+
+@dataclass(frozen=True)
+class DegradationWindow:
+    """One bandwidth-dip interval: ``factor`` of nominal inside [start, end)."""
+
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("degradation window must have positive length")
+        if self.factor <= 0:
+            raise ValueError("bandwidth factor must be positive")
+
+    def active(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+def bandwidth_factor_at(windows: Sequence[DegradationWindow], time: float) -> float:
+    """Effective bandwidth multiplier at ``time`` (overlaps compound)."""
+    factor = 1.0
+    for window in windows:
+        if window.active(time):
+            factor *= window.factor
+    return factor
 
 
 # -- Event-level links used inside the DES ------------------------------------

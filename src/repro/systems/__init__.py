@@ -41,6 +41,8 @@ from .broadcast_model import (
     BroadcastBreakdown,
     broadcast_breakdown,
     broadcast_latency,
+    broadcast_with_flap,
+    degraded_broadcast_series,
     figure18_series,
     optimal_broadcast_latency,
     optimal_chunks,
@@ -48,11 +50,15 @@ from .broadcast_model import (
     storage_vs_relay,
 )
 from .fault_tolerance import (
+    CRASH_KINDS,
     FailureEvent,
     FailureInjector,
     FailureKind,
     RecoveryModel,
     RecoveryRecord,
+    failure_kind_description,
+    known_failure_kinds,
+    register_failure_kind,
 )
 from .relay import PullRecord, RelayService, WeightPublication
 from .repack import (
@@ -102,16 +108,22 @@ __all__ = [
     "BroadcastBreakdown",
     "broadcast_breakdown",
     "broadcast_latency",
+    "broadcast_with_flap",
+    "degraded_broadcast_series",
     "figure18_series",
     "optimal_broadcast_latency",
     "optimal_chunks",
     "rollout_wait_comparison",
     "storage_vs_relay",
+    "CRASH_KINDS",
     "FailureEvent",
     "FailureInjector",
     "FailureKind",
     "RecoveryModel",
     "RecoveryRecord",
+    "failure_kind_description",
+    "known_failure_kinds",
+    "register_failure_kind",
     "PullRecord",
     "RelayService",
     "WeightPublication",

@@ -70,6 +70,14 @@ class SystemCapabilities:
     #: Span kinds this orchestration guarantees to emit on every traced run
     #: (registry-integrity contract checked by the observability tests).
     trace_spans: Tuple[str, ...] = ()
+    #: Graceful-degradation policy for straggling machines (repro.faults):
+    #: "wait" tolerates the slowdown; "preempt_requeue" migrates the
+    #: machine's in-flight work to healthy replicas and drains it.
+    straggler_policy: str = "wait"
+    #: Retry behaviour when a weight-sync path hits a degraded/flapping
+    #: link: "none" (the sync simply takes longer) or "bounded_backoff"
+    #: (capped exponential backoff, counted in the run's extras).
+    sync_retry: str = "none"
 
     def summary(self) -> str:
         """Compact capability string for tables."""
@@ -83,6 +91,10 @@ class SystemCapabilities:
             parts.append("repack")
         if self.fault_tolerant:
             parts.append("fault-tolerant")
+        if self.straggler_policy != "wait":
+            parts.append(f"stragglers={self.straggler_policy}")
+        if self.sync_retry != "none":
+            parts.append(f"sync-retry={self.sync_retry}")
         return ", ".join(parts)
 
 

@@ -16,6 +16,7 @@ from ..sim.network import (
     PCIE_LINK,
     RDMA_LINK,
     RDMA_SINGLE_NIC_LINK,
+    RetryPolicy,
     chain_pipelined_broadcast_time,
     gpu_direct_global_sync_time,
     optimal_chain_broadcast_time,
@@ -104,6 +105,49 @@ def storage_vs_relay(model: ModelSpec, num_readers: int) -> Dict[str, float]:
     return {
         "storage_system": storage_system_sync_time(model.weight_bytes, num_readers),
         "relay_chain": broadcast_latency(model, max(2, num_readers)),
+    }
+
+
+def degraded_broadcast_series(
+    model: ModelSpec,
+    num_machines: int,
+    bandwidth_factors: List[float],
+    link: LinkSpec = RDMA_SINGLE_NIC_LINK,
+) -> Dict[float, float]:
+    """Broadcast latency under each bandwidth-dip factor (repro.faults).
+
+    Each factor scales the inter-machine link's bandwidth; the chunked-chain
+    expression re-optimises its chunk count for the degraded link, so the
+    series shows how gracefully the pipeline absorbs a dip (the latency term
+    is unchanged — only the bandwidth and pipeline terms grow).
+    """
+    series: Dict[float, float] = {}
+    for factor in bandwidth_factors:
+        series[factor] = broadcast_latency(model, num_machines, link.scaled(factor))
+    return series
+
+
+def broadcast_with_flap(
+    model: ModelSpec,
+    num_machines: int,
+    flap_seconds: float,
+    policy: RetryPolicy | None = None,
+    link: LinkSpec = RDMA_SINGLE_NIC_LINK,
+) -> Dict[str, float]:
+    """Chain broadcast latency when one chain link flaps for ``flap_seconds``.
+
+    The broadcast pays the nominal chain time plus the bounded-backoff wait
+    needed to get the flapped segment through (the relay's §4.3 rebuild is
+    the crash path; a flap is ridden out with retries instead).
+    """
+    policy = policy or RetryPolicy()
+    nominal = broadcast_latency(model, num_machines, link)
+    backoff, retries = policy.wait_through(flap_seconds)
+    return {
+        "nominal": nominal,
+        "retry_backoff": backoff,
+        "retries": float(retries),
+        "total": nominal + backoff,
     }
 
 

@@ -6,36 +6,119 @@ are redirected to healthy replicas of the same weight version), and relay
 failures are repaired by rebuilding the broadcast chain in O(1).  This module
 describes injected failures and the recovery cost model the Laminar simulator
 applies.
+
+Failure kinds are registered in a module-level registry
+(:func:`register_failure_kind`), mirroring the systems registry: constructing
+a :class:`FailureEvent` with an unknown kind raises with the registered list,
+and :meth:`RecoveryModel.recovery_time` dispatches over the same names.  The
+adversarial schedules in :mod:`repro.faults` extend the original crash kinds
+with degradation kinds — spot preemption (with a warning lead), stragglers
+and network degradation — that the Laminar runtime handles without treating
+them as machine losses.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
+
+# --------------------------------------------------------------------------- kind registry
+_KINDS: Dict[str, str] = {}
+
+
+def register_failure_kind(name: str, description: str = "") -> str:
+    """Register a failure kind name; returns it so class attributes read clean.
+
+    Re-registering an existing name with a new description raises, matching
+    the systems-registry duplicate rule.
+    """
+    if not name:
+        raise ValueError("failure kind name must be non-empty")
+    if name in _KINDS:
+        raise ValueError(f"failure kind {name!r} is already registered")
+    _KINDS[name] = description
+    return name
+
+
+def known_failure_kinds() -> List[str]:
+    """Registered kind names, in registration order."""
+    return list(_KINDS)
+
+
+def failure_kind_description(name: str) -> str:
+    try:
+        return _KINDS[name]
+    except KeyError:
+        known = ", ".join(known_failure_kinds()) or "(none)"
+        raise ValueError(
+            f"unknown failure kind {name!r}; registered kinds: {known}"
+        ) from None
 
 
 class FailureKind:
-    ROLLOUT_MACHINE = "rollout_machine"
-    RELAY = "relay"
-    TRAINER = "trainer"
+    """Registered failure kinds.
+
+    The first three are the paper's crash kinds (Fig 15); the rest are the
+    adversarial-infrastructure kinds added by :mod:`repro.faults`.
+    """
+
+    ROLLOUT_MACHINE = register_failure_kind(
+        "rollout_machine", "rollout machine crash; replicas lost until recovery")
+    RELAY = register_failure_kind(
+        "relay", "relay node loss; broadcast chain rebuilt in O(1)")
+    TRAINER = register_failure_kind(
+        "trainer", "trainer worker loss; restore from checkpoint")
+    SPOT_WARNING = register_failure_kind(
+        "spot_warning", "spot preemption notice; machine drains gracefully")
+    SPOT_PREEMPTION = register_failure_kind(
+        "spot_preemption", "spot instance reclaimed; replacement provisioned")
+    STRAGGLER = register_failure_kind(
+        "straggler", "machine slows down by `factor` (decode + env latency)")
+    STRAGGLER_CLEAR = register_failure_kind(
+        "straggler_clear", "straggling machine returns to full speed")
+    NETWORK_DEGRADED = register_failure_kind(
+        "network_degraded", "inter-machine bandwidth dips to `factor` of nominal")
+    NETWORK_RESTORED = register_failure_kind(
+        "network_restored", "inter-machine bandwidth back to nominal")
+    LINK_FLAP = register_failure_kind(
+        "link_flap", "machine link flaps for `duration`; syncs retry with backoff")
+
+
+#: Kinds that remove a machine from service (crash-class, not degradation).
+CRASH_KINDS = frozenset(
+    {FailureKind.ROLLOUT_MACHINE, FailureKind.RELAY, FailureKind.TRAINER,
+     FailureKind.SPOT_PREEMPTION}
+)
 
 
 @dataclass(frozen=True)
 class FailureEvent:
-    """One injected failure."""
+    """One injected failure or degradation event."""
 
     time: float
     kind: str
-    #: Machine (rollout/relay failures) or trainer-worker index.
+    #: Machine (rollout/relay failures) or trainer-worker index; -1 = global.
     target: int
     #: Whether a same-GPU re-initialisation succeeds (§3.3 first attempt).
     reinit_succeeds: bool = False
+    #: Degradation magnitude: slowdown multiplier for stragglers (> 1 is
+    #: slower), bandwidth multiplier for network dips (< 1 is slower).
+    factor: float = 1.0
+    #: Length of the degradation window in seconds (0 = persistent / n/a).
+    duration: float = 0.0
 
     def __post_init__(self) -> None:
         if self.time < 0:
             raise ValueError("failure time must be non-negative")
-        if self.kind not in (FailureKind.ROLLOUT_MACHINE, FailureKind.RELAY, FailureKind.TRAINER):
-            raise ValueError(f"unknown failure kind {self.kind!r}")
+        if self.kind not in _KINDS:
+            known = ", ".join(known_failure_kinds()) or "(none)"
+            raise ValueError(
+                f"unknown failure kind {self.kind!r}; registered kinds: {known}"
+            )
+        if self.factor <= 0:
+            raise ValueError("failure factor must be positive")
+        if self.duration < 0:
+            raise ValueError("failure duration must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -53,6 +136,9 @@ class RecoveryModel:
     chain_rebuild_time: float = 0.5
     #: Restoring the trainer from its latest checkpoint.
     trainer_restore_time: float = 120.0
+    #: Replacing a preempted spot machine: the warning already drained it, so
+    #: there is no detection latency or re-init attempt, only provisioning.
+    spot_replacement_time: float = 180.0
 
     def rollout_recovery_time(self, event: FailureEvent) -> float:
         """Wall-clock from failure to the replicas being back in service."""
@@ -66,6 +152,31 @@ class RecoveryModel:
 
     def trainer_recovery_time(self) -> float:
         return self.trainer_restore_time
+
+    def spot_recovery_time(self) -> float:
+        return self.spot_replacement_time
+
+    def recovery_time(self, event: FailureEvent) -> float:
+        """Recovery latency for any registered kind.
+
+        Degradation kinds recover instantly once their window ends (the
+        schedule carries the clearing event), so they cost zero here; unknown
+        kinds raise with the registered list, matching the registry idiom.
+        """
+        if event.kind not in _KINDS:
+            known = ", ".join(known_failure_kinds()) or "(none)"
+            raise ValueError(
+                f"unknown failure kind {event.kind!r}; registered kinds: {known}"
+            )
+        if event.kind == FailureKind.ROLLOUT_MACHINE:
+            return self.rollout_recovery_time(event)
+        if event.kind == FailureKind.RELAY:
+            return self.relay_recovery_time()
+        if event.kind == FailureKind.TRAINER:
+            return self.trainer_recovery_time()
+        if event.kind == FailureKind.SPOT_PREEMPTION:
+            return self.spot_recovery_time()
+        return 0.0
 
 
 @dataclass

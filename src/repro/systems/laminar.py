@@ -88,10 +88,17 @@ class LaminarSystem(System):
         default_max_concurrency=1024,
         throughput_method="laminar_cycle",
         trace_spans=("iteration", "training", "weight_sync", "weight_pull"),
+        straggler_policy="preempt_requeue",
+        sync_retry="bounded_backoff",
     )
 
     #: Safety cap on simulated time (seconds).
     max_sim_time: float = 2.0e6
+
+    #: Straggler slowdown factor at/above which the graceful-degradation
+    #: policy preempts the machine's in-flight work and requeues it on
+    #: healthy replicas instead of waiting the slowdown out (repro.faults).
+    STRAGGLER_PREEMPT_FACTOR: float = 2.0
 
     def __init__(
         self,
@@ -136,6 +143,14 @@ class LaminarSystem(System):
         self.kvcache_series: Dict[int, TimeSeries] = {}
         self._failure_happened = False
         self._result: Optional[SystemRunResult] = None
+        # Adversarial-infrastructure state (repro.faults).
+        self.straggling_machines: Dict[int, float] = {}
+        self.draining_machines: set[int] = set()
+        self.stragglers_handled = 0
+        self.straggler_requeues = 0
+        self.preemption_warnings = 0
+        self.spot_preemptions = 0
+        self.network_events = 0
 
     # ------------------------------------------------------------------ construction hooks
     def _build_pipeline(self) -> CompletionPipeline:
@@ -194,8 +209,12 @@ class LaminarSystem(System):
         """Give an idle replica a fresh prompt batch with the newest weights.
 
         Returns False when the run-ahead budget is exhausted (the replica's
-        driver then sleeps until the trainer consumes a batch).
+        driver then sleeps until the trainer consumes a batch), or when the
+        replica's machine is draining (spot warning, or a straggler the
+        preempt-and-requeue policy took out of rotation).
         """
+        if self.replica_machine[replica.replica_id] in self.draining_machines:
+            return False
         budget = self._run_ahead_budget()
         if budget <= 0:
             return False
@@ -244,6 +263,104 @@ class LaminarSystem(System):
         # Relay chain rebuild is sub-second and does not block rollouts.
         self.relay.fail_machine(event.target)
         return event.time + self.recovery.rollout_recovery_time(event)
+
+    # ------------------------------------------------------------------ degradation (repro.faults)
+    def _machine_replicas(self, machine_id: int) -> List[int]:
+        return [rid for rid, machine in self.replica_machine.items()
+                if machine == machine_id and rid in self.replicas]
+
+    def _drain_machine(self, machine_id: int, now: float) -> int:
+        """Migrate a machine's in-flight work to healthy replicas.
+
+        The graceful sibling of :meth:`_apply_rollout_failure`: the machine's
+        replicas stay alive (and stop being refilled via
+        ``draining_machines``), their sequences move to the least-loaded
+        healthy replica of the same weight version, and nothing is lost —
+        there is no detection latency because the trigger was a warning or a
+        policy decision, not a crash.
+        """
+        drain_ids = set(self._machine_replicas(machine_id))
+        healthy = [
+            replica for rid, replica in self.replicas.items()
+            if rid not in drain_ids
+            and self.replica_machine.get(rid) not in self.draining_machines
+        ]
+        if not healthy:
+            return 0
+        moved = 0
+        for rid in sorted(drain_ids):
+            for state in self.replicas[rid].remove_all():
+                state.needs_reprefill = True
+                target = RolloutManager._pick_failover_target(healthy, state)
+                target.add_sequences([state])
+                if state.trajectory.traj_id in self.partial_pool:
+                    self.partial_pool.migrate(state.trajectory.traj_id, target.replica_id)
+                moved += 1
+        return moved
+
+    def _apply_straggler(self, event: FailureEvent, now: float) -> tuple:
+        """Degrade a machine; apply the declared straggler policy.
+
+        Below :attr:`STRAGGLER_PREEMPT_FACTOR` the policy is *wait* (the
+        slowdown is tolerated; repack keeps consolidating around it).  At or
+        above it, the machine's work is preempted and requeued on healthy
+        replicas and the machine drains until the slowdown clears.
+        """
+        machine_id = event.target
+        self.straggling_machines[machine_id] = event.factor
+        self.stragglers_handled += 1
+        policy, moved = "wait", 0
+        if (event.factor >= self.STRAGGLER_PREEMPT_FACTOR
+                and machine_id not in self.draining_machines):
+            moved = self._drain_machine(machine_id, now)
+            self.draining_machines.add(machine_id)
+            self.straggler_requeues += moved
+            policy = "preempt_requeue"
+        for rid in self._machine_replicas(machine_id):
+            self.replicas[rid].set_slowdown(decode=event.factor, env=event.factor)
+        return policy, moved
+
+    def _clear_straggler(self, machine_id: int) -> None:
+        self.straggling_machines.pop(machine_id, None)
+        self.draining_machines.discard(machine_id)
+        for rid in self._machine_replicas(machine_id):
+            self.replicas[rid].set_slowdown(decode=1.0, env=1.0)
+
+    def _apply_spot_warning(self, event: FailureEvent, now: float) -> int:
+        """Drain a machine ahead of its announced preemption (zero loss)."""
+        self.preemption_warnings += 1
+        moved = self._drain_machine(event.target, now)
+        self.draining_machines.add(event.target)
+        return moved
+
+    def _apply_spot_preemption(self, event: FailureEvent, now: float) -> float:
+        """Reclaim a spot machine; returns when its replacement is up.
+
+        If a warning drained it first, the failover finds empty replicas and
+        loses nothing; an unwarned preemption degenerates to the crash path.
+        """
+        self._failure_happened = True
+        self.spot_preemptions += 1
+        failed_ids = self._machine_replicas(event.target)
+        self.manager.handle_machine_failure(
+            event, failed_ids, self.replicas, self.partial_pool, now
+        )
+        for rid in failed_ids:
+            self.replica_machine.pop(rid, None)
+        self.draining_machines.discard(event.target)
+        self.straggling_machines.pop(event.target, None)
+        self.relay.fail_machine(event.target)
+        return event.time + self.recovery.spot_recovery_time()
+
+    def _apply_network(self, event: FailureEvent) -> None:
+        """Degraded-network events mutate the relay's link model in place."""
+        self.network_events += 1
+        if event.kind == FailureKind.NETWORK_DEGRADED:
+            self.relay.set_bandwidth_factor(event.factor)
+        elif event.kind == FailureKind.NETWORK_RESTORED:
+            self.relay.set_bandwidth_factor(1.0)
+        elif event.kind == FailureKind.LINK_FLAP:
+            self.relay.start_flap(event.target, event.time + event.duration)
 
     def _recover_machine(self, machine_id: int, now: float) -> List[ReplicaGenerationState]:
         """Re-admit a machine: catch up its relay, then re-host its replicas."""
@@ -300,6 +417,22 @@ class LaminarSystem(System):
                 "failures_handled": float(len(self.manager.recovery_records)),
             }
         )
+        # Adversarial-infrastructure extras only appear on runs that actually
+        # saw chaos, so nominal runs keep their committed metric sets.
+        if (self.stragglers_handled or self.preemption_warnings
+                or self.spot_preemptions or self.network_events
+                or self.relay.sync_retries):
+            result.extras.update(
+                {
+                    "stragglers_handled": float(self.stragglers_handled),
+                    "straggler_requeues": float(self.straggler_requeues),
+                    "preemption_warnings": float(self.preemption_warnings),
+                    "spot_preemptions": float(self.spot_preemptions),
+                    "network_events": float(self.network_events),
+                    "sync_retries": float(self.relay.sync_retries),
+                    "retry_backoff_total": self.relay.retry_backoff_total,
+                }
+            )
 
     # -- convenience accessors ---------------------------------------------------
     @property
@@ -340,6 +473,8 @@ class LaminarNoRepack(LaminarSystem):
         placement_like="laminar",
         throughput_method="laminar_cycle",
         trace_spans=("iteration", "training", "weight_sync", "weight_pull"),
+        straggler_policy="preempt_requeue",
+        sync_retry="bounded_backoff",
     )
 
     def __init__(self, config: SystemConfig, **kwargs) -> None:
@@ -538,8 +673,12 @@ class LaminarRuntime(ReplicaFleet):
     def _apply_failure(self, event: FailureEvent) -> None:
         env, system = self.env, self.system
         if env.tracer.enabled:
-            track = ("trainer" if event.kind == FailureKind.TRAINER
-                     else f"machine-{event.target}")
+            if event.kind == FailureKind.TRAINER:
+                track = "trainer"
+            elif event.target < 0:
+                track = "network"
+            else:
+                track = f"machine-{event.target}"
             env.tracer.instant(track, "failure", env.now,
                                args={"kind": str(event.kind),
                                      "target": event.target})
@@ -570,6 +709,52 @@ class LaminarRuntime(ReplicaFleet):
             restore = system.recovery.trainer_recovery_time()
             if self._trainer_process is not None and self._trainer_process.is_alive:
                 self._trainer_process.interrupt(cause=restore)
+        elif event.kind == FailureKind.STRAGGLER:
+            for replica in list(system.replicas.values()):
+                self.catch_up(replica)
+            policy, moved = system._apply_straggler(event, env.now)
+            if env.tracer.enabled:
+                env.tracer.instant(f"machine-{event.target}", "straggler", env.now,
+                                   args={"factor": event.factor,
+                                         "policy": policy, "requeued": moved})
+            self.touch()
+            self.notify_refill()
+        elif event.kind == FailureKind.STRAGGLER_CLEAR:
+            for replica in list(system.replicas.values()):
+                self.catch_up(replica)
+            system._clear_straggler(event.target)
+            if env.tracer.enabled:
+                env.tracer.instant(f"machine-{event.target}", "straggler_clear",
+                                   env.now, args={})
+            self.touch()
+            self.notify_refill()
+        elif event.kind == FailureKind.SPOT_WARNING:
+            for replica in list(system.replicas.values()):
+                self.catch_up(replica)
+            moved = system._apply_spot_warning(event, env.now)
+            if env.tracer.enabled:
+                env.tracer.instant(f"machine-{event.target}", "spot_warning",
+                                   env.now, args={"drained": moved,
+                                                  "lead": event.duration})
+            self.touch()
+            self.notify_refill()
+        elif event.kind == FailureKind.SPOT_PREEMPTION:
+            for replica in list(system.replicas.values()):
+                self.catch_up(replica)
+            recovery_at = system._apply_spot_preemption(event, env.now)
+            env.process(
+                self._recovery(recovery_at, event.target),
+                name=f"recover-machine-{event.target}",
+            )
+            self.touch()
+            self.notify_refill()
+        elif event.kind in (FailureKind.NETWORK_DEGRADED,
+                            FailureKind.NETWORK_RESTORED,
+                            FailureKind.LINK_FLAP):
+            # Pure link-model mutations: replica clocks are untouched, so no
+            # catch-up or driver wake-up is needed — the next publish/pull
+            # simply sees the degraded network.
+            system._apply_network(event)
 
     def _recovery(self, at: float, machine_id: int):
         env, system = self.env, self.system

@@ -24,6 +24,7 @@ from ..sim.network import (
     PCIE_LINK,
     RDMA_LINK,
     RDMA_SINGLE_NIC_LINK,
+    RetryPolicy,
     chain_pipelined_broadcast_time,
 )
 
@@ -71,6 +72,7 @@ class RelayService:
         rollout_tensor_parallel: int,
         inter_link: LinkSpec = RDMA_SINGLE_NIC_LINK,
         pcie_link: LinkSpec = PCIE_LINK,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if not rollout_machine_ids:
             raise ValueError("need at least one rollout machine")
@@ -79,12 +81,20 @@ class RelayService:
         self.rollout_tensor_parallel = max(1, rollout_tensor_parallel)
         self.inter_link = inter_link
         self.pcie_link = pcie_link
+        self.retry_policy = retry_policy or RetryPolicy()
         self.master_machine = self.machine_ids[0]
         self.publications: Dict[int, WeightPublication] = {}
         self.pulls: List[PullRecord] = []
         self.failed_machines: set[int] = set()
         self.master_failovers = 0
         self.chain_rebuilds = 0
+        # Degraded-network state (repro.faults): a bandwidth multiplier on
+        # the inter-machine link plus per-machine flap windows.  Sync paths
+        # ride out flaps with the bounded-backoff retry policy.
+        self.bandwidth_factor = 1.0
+        self._flap_until: Dict[int, float] = {}
+        self.sync_retries = 0
+        self.retry_backoff_total = 0.0
         # Version 0 (the initial checkpoint) is available everywhere at t=0.
         self.publications[0] = WeightPublication(
             version=0,
@@ -94,6 +104,37 @@ class RelayService:
             broadcast_complete_at=0.0,
             available_at={m: 0.0 for m in self.machine_ids},
         )
+
+    # ------------------------------------------------------------------ degradation
+    def effective_inter_link(self) -> LinkSpec:
+        """Inter-machine link under the current bandwidth factor."""
+        return self.inter_link.scaled(self.bandwidth_factor)
+
+    def set_bandwidth_factor(self, factor: float) -> None:
+        """Set the inter-machine bandwidth multiplier (1.0 = nominal)."""
+        if factor <= 0:
+            raise ValueError("bandwidth factor must be positive")
+        self.bandwidth_factor = factor
+
+    def start_flap(self, machine_id: int, until: float) -> None:
+        """Declare ``machine_id``'s link unreachable until ``until``."""
+        if machine_id not in self.machine_ids:
+            raise KeyError(f"machine {machine_id} is not a rollout machine")
+        self._flap_until[machine_id] = max(self._flap_until.get(machine_id, 0.0), until)
+
+    def flap_remaining(self, machine_id: int, time: float) -> float:
+        """Seconds of link flap left on ``machine_id`` at ``time`` (0 if up)."""
+        return max(0.0, self._flap_until.get(machine_id, 0.0) - time)
+
+    def _ride_out_flap(self, machine_id: int, time: float) -> float:
+        """Bounded-backoff wait to get a sync through a flapping link."""
+        outage = self.flap_remaining(machine_id, time)
+        if outage <= 0:
+            return 0.0
+        wait, retries = self.retry_policy.wait_through(outage)
+        self.sync_retries += retries
+        self.retry_backoff_total += wait
+        return wait
 
     # ------------------------------------------------------------------ topology
     @property
@@ -129,7 +170,7 @@ class RelayService:
         """
         self.failed_machines.discard(machine_id)
         latest = self.latest_version()
-        catch_up = self.inter_link.transfer_time(self.model.weight_bytes)
+        catch_up = self.effective_inter_link().transfer_time(self.model.weight_bytes)
         publication = self.publications[latest]
         publication.available_at[machine_id] = max(time, publication.master_available_at) + catch_up
         return max(time, publication.master_available_at) + catch_up
@@ -137,7 +178,7 @@ class RelayService:
     # ------------------------------------------------------------------ publish
     def actor_push_time(self) -> float:
         """Actor stall: one RDMA transfer of the full weights to the master relay."""
-        return self.inter_link.transfer_time(self.model.weight_bytes) + PUBLISH_OVERHEAD
+        return self.effective_inter_link().transfer_time(self.model.weight_bytes) + PUBLISH_OVERHEAD
 
     def reshard_time(self) -> float:
         return RESHARD_SECONDS_PER_GB * self.model.weight_bytes / 1e9
@@ -145,7 +186,7 @@ class RelayService:
     def broadcast_time(self) -> float:
         """Chain-pipelined broadcast from the master to all other relays."""
         return chain_pipelined_broadcast_time(
-            self.model.weight_bytes, self.num_machines, link=self.inter_link
+            self.model.weight_bytes, self.num_machines, link=self.effective_inter_link()
         )
 
     def publish(self, version: int, time: float) -> WeightPublication:
@@ -165,12 +206,18 @@ class RelayService:
         healthy = self.healthy_machines()
         for index, machine_id in enumerate(healthy):
             if machine_id == self.master_machine:
-                available[machine_id] = master_ready
+                arrival = master_ready
             else:
                 # The chain delivers machines progressively; interpolate their
                 # completion between master_ready and broadcast_done.
                 fraction = (index + 1) / max(1, len(healthy))
-                available[machine_id] = master_ready + fraction * (broadcast_done - master_ready)
+                arrival = master_ready + fraction * (broadcast_done - master_ready)
+                # A flapping link delays delivery: the chain segment retries
+                # with bounded backoff until the flap window has passed.
+                flap_end = self._flap_until.get(machine_id, 0.0)
+                if arrival < flap_end:
+                    arrival += self._ride_out_flap(machine_id, arrival)
+            available[machine_id] = arrival
         publication = WeightPublication(
             version=version,
             publish_time=time,
@@ -233,6 +280,10 @@ class RelayService:
         if available is None:
             available = publication.broadcast_complete_at
         wait_for_broadcast = max(0.0, available - time)
+        if wait_for_broadcast > 0:
+            # The joining replica must fetch through the inter-machine link;
+            # if its link is flapping, bounded-backoff retries ride it out.
+            wait_for_broadcast += self._ride_out_flap(machine_id, time)
         shard_bytes = self.model.weight_bytes / self.rollout_tensor_parallel
         load = self.pcie_link.transfer_time(shard_bytes)
         record = PullRecord(

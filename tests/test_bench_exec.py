@@ -210,6 +210,52 @@ def test_chaos_worker_killed_mid_grid_still_bit_identical():
         unregister_scenario(scenario.id)
 
 
+def test_straggling_worker_speculatively_re_leased():
+    """A SIGSTOPped worker goes silent without dropping its connection; the
+    heartbeat-relative straggling detector must speculatively re-lease its
+    unit (first result wins) long before the worker-timeout drop path, and
+    the merged results must still equal the serial reference."""
+    scenario = register_scenario(_tiny_scenario("exec_straggler_scenario"))
+    try:
+        serial = run_scenarios([scenario], backend=SerialBackend())
+        # worker_timeout_s is deliberately enormous: if the run completes,
+        # the speculative re-lease was the rescue, not the drop path.
+        with Coordinator(heartbeat_s=0.25, worker_timeout_s=300.0) as coordinator:
+            host, port = coordinator.address
+            victim = _spawn_worker(host, port, jobs=1)
+            frozen = threading.Event()
+            reinforcements = []
+
+            def freeze_then_reinforce():
+                deadline = time.monotonic() + 30.0
+                while time.monotonic() < deadline:
+                    with coordinator._lock:
+                        holding = bool(coordinator._leases)
+                    if holding:
+                        victim.send_signal(signal.SIGSTOP)
+                        frozen.set()
+                        reinforcements.append(_spawn_worker(host, port, jobs=2))
+                        return
+                    time.sleep(0.01)
+
+            watcher = threading.Thread(target=freeze_then_reinforce, daemon=True)
+            watcher.start()
+            queued = run_scenarios(
+                [scenario], backend=QueueBackend(coordinator=coordinator)
+            )
+            watcher.join(timeout=30)
+            assert frozen.is_set()
+            assert coordinator.speculations >= 1
+            victim.send_signal(signal.SIGCONT)
+            coordinator.close()
+            assert victim.wait(timeout=30) == 0
+            assert reinforcements[0].wait(timeout=30) == 0
+        assert [r.comparable() for r in queued] == [r.comparable() for r in serial]
+        assert all(u.status == "ok" for r in queued for u in r.units)
+    finally:
+        unregister_scenario(scenario.id)
+
+
 # --------------------------------------------------------------------------- coordinator fault paths
 def _coordinator_units(count=3):
     scenario = _tiny_scenario(

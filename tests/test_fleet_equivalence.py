@@ -10,8 +10,9 @@ must match the per-replica ``"process"`` mode *exactly* — no tolerances.
 The fuzz surface deliberately includes the hard cases: tiny KV pools that
 force queueing and preemption storms, multi-turn env waits, repack pulls
 mid-window (Laminar), machine/relay/trainer failures mid-window (the fault
-drill), and the streamed anchored barrier whose publications interleave with
-the trainer.
+drill), the adversarial :mod:`repro.faults` schedules (correlated waves,
+spot preemptions, stragglers, degraded networks), and the streamed anchored
+barrier whose publications interleave with the trainer.
 """
 
 from dataclasses import replace
@@ -20,6 +21,7 @@ import numpy as np
 import pytest
 
 from repro.experiments import make_system_config
+from repro.faults import FailurePlan
 from repro.llm import QWEN_7B
 from repro.rollout import (
     ReplicaGenerationState,
@@ -128,15 +130,17 @@ def test_barrier_empty_fleet_matches():
 # --------------------------------------------------------------------------- system fuzz
 def run_system(mode: str, name: str, seed: int = 0, task: str = "math",
                gpus: int = 32, scale: float = 1 / 32, iters: int = 3,
-               failure: FailureEvent = None, **overrides):
+               failure: FailureEvent = None, plan: FailurePlan = None,
+               **overrides):
     config = make_system_config(name, "7B", gpus, task_type=task).scaled(scale)
     config = replace(config, num_iterations=iters, warmup_iterations=0,
                      seed=seed, **overrides)
     with stepping(mode):
         assert stepping_mode() == mode
-        if failure is not None:
-            injector = FailureInjector()
-            injector.add(failure)
+        if failure is not None or plan is not None:
+            injector = plan.build_injector() if plan is not None else FailureInjector()
+            if failure is not None:
+                injector.add(failure)
             system = LaminarSystem(config, failure_injector=injector)
         else:
             system = make_system(config)
@@ -195,3 +199,82 @@ def test_repack_pulls_bit_identity():
     reference = run_system("process", "laminar", gpus=64, scale=1 / 8, iters=4)
     fleet = run_system("fleet", "laminar", gpus=64, scale=1 / 8, iters=4)
     assert_results_identical(reference, fleet)
+
+
+# --------------------------------------------------------------------------- adversarial fuzz
+@pytest.mark.parametrize("name", ALL_SYSTEMS)
+def test_persistent_straggler_config_bit_identity(name):
+    """A config-declared straggler slot degrades every system identically."""
+    reference = run_system("process", name, straggler_factors=((1, 2.5),))
+    fleet = run_system("fleet", name, straggler_factors=((1, 2.5),))
+    assert_results_identical(reference, fleet)
+    # The slowdown actually bit: the degraded run is no faster than nominal.
+    nominal = run_system("process", name)
+    assert reference.wall_clock >= nominal.wall_clock
+
+
+@pytest.mark.parametrize("seed", range(2))
+def test_transient_straggler_wave_bit_identity(seed):
+    """Injected slow-down windows (set + paired clear) land identically."""
+    plan = FailurePlan.stragglers(seed, num_machines=4, window=(5.0, 25.0),
+                                  count=2, factor_range=(1.5, 3.0),
+                                  duration_range=(5.0, 15.0))
+    reference = run_system("process", "laminar", gpus=64, scale=1 / 16,
+                           iters=4, plan=plan)
+    fleet = run_system("fleet", "laminar", gpus=64, scale=1 / 16,
+                       iters=4, plan=plan)
+    assert_results_identical(reference, fleet)
+    assert reference.extras.get("stragglers_handled", 0.0) >= 1.0
+
+
+def test_correlated_rack_wave_bit_identity():
+    """Simultaneous machine losses (one rack) recover identically."""
+    plan = FailurePlan.rack_wave(15.0, rack=0, rack_size=2)
+    reference = run_system("process", "laminar", gpus=64, scale=1 / 16,
+                           iters=4, plan=plan)
+    fleet = run_system("fleet", "laminar", gpus=64, scale=1 / 16,
+                       iters=4, plan=plan)
+    assert_results_identical(reference, fleet)
+    assert reference.extras.get("failures_handled", 0.0) >= 2.0
+
+
+def test_preemption_wave_bit_identity():
+    """Spot warning drains gracefully before the reclaim lands."""
+    plan = FailurePlan.preemption_wave(10.0, [0, 2], warning_lead=8.0)
+    reference = run_system("process", "laminar", gpus=64, scale=1 / 16,
+                           iters=4, plan=plan)
+    fleet = run_system("fleet", "laminar", gpus=64, scale=1 / 16,
+                       iters=4, plan=plan)
+    assert_results_identical(reference, fleet)
+    assert reference.extras.get("preemption_warnings", 0.0) == 2.0
+    assert reference.extras.get("spot_preemptions", 0.0) == 2.0
+
+
+@pytest.mark.parametrize("seed", range(2))
+def test_network_degradation_bit_identity(seed):
+    """Bandwidth dips + link flaps on the weight-sync path stay identical."""
+    plan = FailurePlan.network_degradation(seed, window=(5.0, 30.0), dips=2,
+                                           flap_machines=[1],
+                                           flap_duration_range=(3.0, 8.0))
+    reference = run_system("process", "laminar", gpus=64, scale=1 / 16,
+                           iters=4, plan=plan)
+    fleet = run_system("fleet", "laminar", gpus=64, scale=1 / 16,
+                       iters=4, plan=plan)
+    assert_results_identical(reference, fleet)
+    # At least one degradation event landed inside the simulated run (later
+    # ones may fall past the final iteration, which is fine).
+    assert reference.extras.get("network_events", 0.0) >= 1.0
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_chaos_storm_bit_identity(seed):
+    """The composed storm — wave + preemption + straggler + network — is the
+    union of every adversarial pathway; training must survive it and both
+    stepping modes must agree exactly."""
+    plan = FailurePlan.chaos(seed, num_machines=4, horizon=60.0)
+    reference = run_system("process", "laminar", gpus=64, scale=1 / 16,
+                           iters=4, plan=plan)
+    fleet = run_system("fleet", "laminar", gpus=64, scale=1 / 16,
+                       iters=4, plan=plan)
+    assert_results_identical(reference, fleet)
+    assert reference.iterations  # training survived the storm
