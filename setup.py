@@ -9,7 +9,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="laminar-repro",
-    version="1.4.0",
+    version="1.5.0",
     description=(
         "Reproduction of 'Laminar: A Scalable Asynchronous RL Post-Training "
         "Framework' — simulator, baselines, experiment drivers and the "

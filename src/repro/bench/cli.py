@@ -13,12 +13,15 @@ Workflow::
     repro-bench trend --bisect SCENARIO METRIC      # largest metric step -> commit
                                                     # range, tightened to one commit
                                                     # by midpoint re-runs in a checkout
+    repro-bench analyze trace.json                  # critical-path + utilization
+    repro-bench analyze trace.json --diff old.json  # attribution drift vs old trace
 
 Distributed runs (any machine with the repo installed can serve units)::
 
     repro-bench serve --bind 0.0.0.0:7781           # standalone coordinator
     repro-bench worker --connect HOST:7781 --jobs 4 # worker agent(s)
     repro-bench run --scenario smoke --backend queue --connect HOST:7781
+    repro-bench status --connect HOST:7781 --watch  # live fleet telemetry
 
     # or let `run` embed the coordinator and attach workers to it:
     repro-bench run --scenario smoke --backend queue --bind 0.0.0.0:7781
@@ -35,14 +38,20 @@ import argparse
 import glob
 import json
 import os
+import socket
 import sys
 import time
 from typing import Dict, List, Optional, Sequence
 
 from ..obs import (
     TraceRecorder,
+    analyze_recorder,
     configure_logging,
+    diff_analyses,
     get_run_logger,
+    load_chrome_trace,
+    render_analysis,
+    render_diff,
     summarise_trace,
     use_tracer,
     write_chrome_trace,
@@ -51,18 +60,23 @@ from .compare import DEFAULT_TOLERANCE, compare_runs
 from .exec import (
     BACKENDS,
     DEFAULT_PORT as _DEFAULT_PORT,
+    WIRE_VERSION,
     Coordinator,
     QueueBackend,
     TracingSerialBackend,
+    WireError,
     make_backend,
     parse_hostport,
+    recv_message,
     run_worker,
+    send_message,
 )
 from .registry import ScenarioConfig, all_scenarios, get_scenario, select_scenarios
 from .report import (
     render_comparison,
     render_results,
     render_scenario_list,
+    render_status,
     render_system_list,
 )
 from .runner import ScenarioResult, UnitResult, run_scenarios
@@ -166,6 +180,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "readable JSON to PATH (implies --profile 25 "
                               "when --profile is absent; never merged into "
                               "BENCH artifacts)")
+    run_cmd.add_argument("--derived-metric", action="append", default=[],
+                         metavar="NAME", dest="derived_metric",
+                         help="with --compare: also gate this trace-analytics "
+                              "metric (UnitResult extras, e.g. "
+                              "critical_path_gen_share); drift beyond "
+                              "tolerance in either direction fails; pairs "
+                              "lacking the metric are skipped (repeatable)")
 
     trace_cmd = sub.add_parser(
         "trace", parents=[common],
@@ -207,6 +228,30 @@ def build_parser() -> argparse.ArgumentParser:
                               "already-running `repro-bench serve` coordinator")
     cmp_cmd.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                          help=f"relative regression tolerance (default: {DEFAULT_TOLERANCE})")
+    cmp_cmd.add_argument("--derived-metric", action="append", default=[],
+                         metavar="NAME", dest="derived_metric",
+                         help="also gate this trace-analytics metric "
+                              "(UnitResult extras); drift beyond tolerance in "
+                              "either direction fails; pairs lacking the "
+                              "metric are skipped (repeatable)")
+
+    analyze_cmd = sub.add_parser(
+        "analyze", parents=[common],
+        help="critical-path attribution, per-track utilization and span-"
+             "family breakdown of an exported Chrome-trace file")
+    analyze_cmd.add_argument("trace", metavar="TRACE",
+                             help="Chrome-trace JSON written by `repro-bench "
+                                  "trace` or `run --trace`")
+    analyze_cmd.add_argument("--diff", metavar="OTHER", default=None,
+                             help="second trace file; report attribution "
+                                  "drift TRACE vs OTHER instead of absolutes")
+    analyze_cmd.add_argument("--json", metavar="PATH", default=None,
+                             dest="json_path",
+                             help="also write the full analysis (or diff) as "
+                                  "JSON to PATH ('-' for stdout)")
+    analyze_cmd.add_argument("--top", type=int, default=8, metavar="N",
+                             help="span families to show per unit "
+                                  "(default: 8)")
 
     trend_cmd = sub.add_parser(
         "trend", parents=[common],
@@ -256,6 +301,11 @@ def build_parser() -> argparse.ArgumentParser:
                                 "long (default: 5x heartbeat; straggling "
                                 "workers are speculatively re-leased at 2.5x "
                                 "heartbeat either way)")
+    serve_cmd.add_argument("--status-interval", type=float, default=30.0,
+                           metavar="SECONDS",
+                           help="emit a structured status snapshot on the run "
+                                "log this often while the fleet is active "
+                                "(0 disables; default: 30)")
 
     worker_cmd = sub.add_parser(
         "worker", parents=[common],
@@ -274,6 +324,20 @@ def build_parser() -> argparse.ArgumentParser:
     worker_cmd.add_argument("--max-units", type=int, default=None, metavar="N",
                             help="exit after executing N units (chaos drills "
                                  "and tests)")
+
+    status_cmd = sub.add_parser(
+        "status", parents=[common],
+        help="live fleet telemetry from a running coordinator (queue depth, "
+             "workers, leases, counters)")
+    status_cmd.add_argument("--connect", required=True, metavar="HOST:PORT",
+                            help="coordinator address")
+    status_cmd.add_argument("--watch", nargs="?", const=2.0, default=None,
+                            type=float, metavar="SECONDS",
+                            help="refresh every SECONDS instead of printing "
+                                 "one snapshot (default interval: 2)")
+    status_cmd.add_argument("--json", action="store_true", dest="as_json",
+                            help="print each snapshot as one JSON object "
+                                 "instead of tables")
     return parser
 
 
@@ -486,7 +550,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         if run_elapsed > args.budget:
             exit_code = 1
     if args.compare:
-        report = compare_runs(results, baseline, tolerance=args.tolerance)
+        report = compare_runs(results, baseline, tolerance=args.tolerance,
+                              derived=args.derived_metric)
         print()
         print(render_comparison(report))
         if not report.passed:
@@ -510,21 +575,38 @@ def cmd_run(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _unit_trace_path(output: str, scenario_id: str, grid_index: int,
+                     unit) -> str:
+    """Per-unit trace filename: the ``-o`` stem plus the unit's stable
+    identity (scenario, pre-filter grid index, system, variant) so
+    ``--all-units`` output never collides and sorts in grid order."""
+    base, ext = os.path.splitext(output)
+    parts = [base, scenario_id, f"u{grid_index:03d}", unit.system]
+    if unit.variant:
+        parts.append(unit.variant.replace(os.sep, "-"))
+    return ".".join(parts) + (ext or ".json")
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from .runner import system_for_unit
 
+    outdir = os.path.dirname(args.output) or "."
+    if not os.path.isdir(outdir):
+        # Fail before any unit runs, not after minutes of simulation.
+        raise ValueError(f"output directory does not exist: {outdir!r}")
     scenarios = select_scenarios([args.scenario])
     if args.system:
         scenarios = _filter_systems(scenarios, args.system)
-    recorder = TraceRecorder()
-    traced = 0
+    # (scenario, pre-filter grid index, unit): indices stay stable under
+    # --system filtering, so filenames are comparable across selections.
+    selected: List = []
     for scenario in scenarios:
-        units = scenario.expand()
+        units = list(enumerate(scenario.expand()))
         if args.system:
             keep = set(args.system)
-            units = [u for u in units if u.system in keep]
+            units = [(k, u) for k, u in units if u.system in keep]
         if args.all_units:
-            selected = units
+            chosen = units
         else:
             wanted = args.unit or [0]
             bad = sorted(k for k in wanted if not 0 <= k < len(units))
@@ -533,20 +615,119 @@ def cmd_trace(args: argparse.Namespace) -> int:
                     f"scenario {scenario.id!r} has {len(units)} unit(s); "
                     f"--unit out of range: {', '.join(map(str, bad))}"
                 )
-            selected = [units[k] for k in wanted]
-        for unit in selected:
-            _log.info("trace_unit",
-                      message=f"tracing {unit.scenario_id} {unit.label}",
-                      scenario=unit.scenario_id, unit=unit.label)
-            recorder.set_group(f"{unit.scenario_id}:{unit.label}")
-            with use_tracer(recorder):
-                system_for_unit(unit).run()
-            traced += 1
+            chosen = [units[k] for k in wanted]
+        selected.extend((scenario.id, k, u) for k, u in chosen)
+
+    def _trace_one(recorder: TraceRecorder, unit) -> None:
+        _log.info("trace_unit",
+                  message=f"tracing {unit.scenario_id} {unit.label}",
+                  scenario=unit.scenario_id, unit=unit.label)
+        recorder.set_group(f"{unit.scenario_id}:{unit.label}")
+        with use_tracer(recorder):
+            system_for_unit(unit).run()
+
+    if args.all_units:
+        # One file per unit, named for the unit — a merged file would make
+        # the uploaded artifact a single undifferentiated blob.
+        written: List[str] = []
+        for scenario_id, grid_index, unit in selected:
+            recorder = TraceRecorder()
+            _trace_one(recorder, unit)
+            path = _unit_trace_path(args.output, scenario_id, grid_index, unit)
+            payload = write_chrome_trace(recorder, path)
+            print(f"wrote {path} ({len(payload['traceEvents'])} events)")
+            written.append(path)
+        print(f"\n{len(written)} unit trace(s) written")
+        return 0
+    recorder = TraceRecorder()
+    for _scenario_id, _grid_index, unit in selected:
+        _trace_one(recorder, unit)
     payload = write_chrome_trace(recorder, args.output)
     print(summarise_trace(recorder))
-    print(f"\nwrote {args.output} ({traced} unit(s), "
+    print(f"\nwrote {args.output} ({len(selected)} unit(s), "
           f"{len(payload['traceEvents'])} events)")
     return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    if args.top <= 0:
+        raise ValueError("--top must be positive")
+    analysis = analyze_recorder(load_chrome_trace(args.trace))
+    if not analysis.groups:
+        print(f"error: no trace events found in {args.trace}", file=sys.stderr)
+        return 1
+    if args.diff:
+        other = analyze_recorder(load_chrome_trace(args.diff))
+        diff = diff_analyses(analysis, other)
+        payload: Dict[str, object] = {
+            "candidate": args.trace, "baseline": args.diff, "diff": diff,
+        }
+        print(render_diff(diff))
+    else:
+        payload = {"trace": args.trace, "analysis": analysis.as_dict()}
+        print(render_analysis(analysis, top=args.top))
+    if args.json_path:
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.json_path == "-":
+            print(text)
+        else:
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"\nwrote {args.json_path}")
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    if args.watch is not None and args.watch <= 0:
+        raise ValueError("--watch interval must be positive")
+    host, port = parse_hostport(args.connect)
+    try:
+        sock = socket.create_connection((host, port), timeout=10.0)
+    except OSError as exc:
+        print(f"error: could not reach coordinator at {host}:{port}: {exc}",
+              file=sys.stderr)
+        return 1
+    try:
+        sock.settimeout(10.0)
+        send_message(sock, {"type": "hello", "role": "status",
+                            "wire_version": WIRE_VERSION})
+        welcome = recv_message(sock)
+        if welcome.get("type") != "welcome":
+            print(f"error: coordinator rejected the status connection: "
+                  f"{welcome.get('message', welcome.get('type'))}",
+                  file=sys.stderr)
+            return 1
+        while True:
+            send_message(sock, {"type": "status"})
+            reply = recv_message(sock)
+            if reply.get("type") != "status":
+                print(f"error: unexpected reply {reply.get('type')!r}",
+                      file=sys.stderr)
+                return 1
+            snapshot = reply.get("status", {})
+            if args.as_json:
+                print(json.dumps(snapshot, sort_keys=True))
+            else:
+                print(render_status(snapshot, address=f"{host}:{port}"))
+            if args.watch is None:
+                break
+            print()
+            time.sleep(args.watch)
+        try:
+            send_message(sock, {"type": "goodbye"})
+        except OSError:
+            pass
+        return 0
+    except (WireError, OSError) as exc:
+        print(f"error: coordinator connection lost: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -589,7 +770,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
             if coordinator is not None:
                 coordinator.close()
 
-    report = compare_runs(candidate, baseline, tolerance=args.tolerance)
+    report = compare_runs(candidate, baseline, tolerance=args.tolerance,
+                          derived=args.derived_metric)
     print()
     print(render_comparison(report))
     return 0 if report.passed else 1
@@ -673,10 +855,13 @@ def cmd_trend(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     serve_log = get_run_logger("bench.serve")
     host, port = parse_hostport(args.bind)
+    if args.status_interval < 0:
+        raise ValueError("--status-interval must be non-negative")
     coordinator = Coordinator(
         host=host, port=port, max_attempts=args.max_attempts,
         heartbeat_s=args.heartbeat, lease_grace_s=args.lease_grace,
         worker_timeout_s=args.worker_timeout,
+        status_interval_s=args.status_interval,
         log=lambda message: serve_log.info("coordinator", message=message),
     ).start()
     try:
@@ -711,8 +896,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         quiet=getattr(args, "quiet", False),
     )
     handlers = {"list": cmd_list, "run": cmd_run, "trace": cmd_trace,
-                "compare": cmd_compare, "trend": cmd_trend,
-                "serve": cmd_serve, "worker": cmd_worker}
+                "analyze": cmd_analyze, "compare": cmd_compare,
+                "trend": cmd_trend, "serve": cmd_serve,
+                "worker": cmd_worker, "status": cmd_status}
     try:
         return handlers[args.command](args)
     except BrokenPipeError:  # e.g. `repro-bench list | head`

@@ -5,6 +5,14 @@ same ``(scenario, system, gpus, variant)`` key and judged on the scenario
 kind's primary metric with a configurable relative tolerance.  A run passes
 when no unit regresses beyond tolerance and no unit that used to succeed now
 fails.
+
+Traced runs may additionally opt into **derived-metric gates**
+(``--derived-metric NAME``): attribution fractions from
+:mod:`repro.obs.analysis` carried in ``UnitResult.extras``.  Unlike primary
+metrics they have no better/worse direction — a drift beyond tolerance in
+*either* direction fails the gate (a bottleneck that moved is a finding even
+when throughput held).  Units lacking the metric on either side are skipped,
+so untraced baselines never fail a derived gate.
 """
 
 from __future__ import annotations
@@ -153,12 +161,53 @@ def judge_unit(
     return verdict
 
 
+def judge_derived(
+    metric: str,
+    baseline: UnitResult,
+    candidate: UnitResult,
+    tolerance: float,
+) -> Optional[UnitVerdict]:
+    """Judge one derived (trace-analytics) metric pair; ``None`` to skip.
+
+    Derived metrics live in ``UnitResult.extras`` and only exist on traced
+    runs; a unit lacking the metric on either side is silently skipped so an
+    untraced baseline cannot fail the gate.  Directionless: any relative
+    drift beyond tolerance is a regression verdict.
+    """
+    if candidate.status != "ok" or baseline.status != "ok":
+        return None
+    cand = candidate.extras.get(metric)
+    base = baseline.extras.get(metric)
+    if cand is None or base is None:
+        return None
+    verdict = UnitVerdict(
+        scenario_id=candidate.scenario_id, unit_label=candidate.label,
+        metric=metric, verdict=VERDICT_UNCHANGED,
+        baseline=float(base), candidate=float(cand),
+    )
+    if base == 0:
+        verdict.delta = 0.0 if cand == 0 else math.inf
+    else:
+        verdict.delta = (cand - base) / abs(base)
+    if abs(verdict.delta) > tolerance:
+        verdict.verdict = VERDICT_REGRESSION
+        verdict.note = (f"derived metric drifted {verdict.delta:+.2%} "
+                        f"(tolerance {tolerance:.0%}, either direction)")
+    return verdict
+
+
 def compare_runs(
     candidate: Sequence[ScenarioResult],
     baseline: Sequence[ScenarioResult],
     tolerance: float = DEFAULT_TOLERANCE,
+    derived: Sequence[str] = (),
 ) -> ComparisonReport:
-    """Gate a candidate run against a baseline run."""
+    """Gate a candidate run against a baseline run.
+
+    ``derived`` names trace-analytics metrics (``UnitResult.extras``) to gate
+    in addition to each kind's primary metric; pairs lacking a metric are
+    skipped (see :func:`judge_derived`).
+    """
     if tolerance < 0:
         raise ValueError("tolerance must be non-negative")
     base_units = _units_by_key(baseline)
@@ -167,8 +216,13 @@ def compare_runs(
     for key, (kind, unit) in cand_units.items():
         base = base_units.get(key)
         report.verdicts.append(judge_unit(kind, base[1] if base else None, unit, tolerance))
+        if base is not None:
+            for metric in derived:
+                extra = judge_derived(metric, base[1], unit, tolerance)
+                if extra is not None:
+                    report.verdicts.append(extra)
     for key, (kind, unit) in base_units.items():
         if key not in cand_units:
             report.verdicts.append(judge_unit(kind, unit, None, tolerance))
-    report.verdicts.sort(key=lambda v: (v.scenario_id, v.unit_label))
+    report.verdicts.sort(key=lambda v: (v.scenario_id, v.unit_label, v.metric))
     return report

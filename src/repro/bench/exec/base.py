@@ -87,6 +87,13 @@ class TracingSerialBackend(SerialBackend):
     Perfetto process per unit.  Because the tracer only observes, the yielded
     results are bit-identical to :class:`SerialBackend` — the property the
     ``--trace --compare --tolerance 0`` CI leg gates.
+
+    After each unit completes, its recorded timeline is analyzed
+    (:mod:`repro.obs.analysis`) and the curated derived metrics
+    (``gen_bubble_frac``, ``critical_path_*_share``, ...) are attached to
+    ``result.extras`` — never to ``result.metrics``, so the comparable
+    nominal payload is untouched and the primary-metric gates see exactly
+    what an untraced run produces.
     """
 
     def __init__(self, recorder, profile_top: Optional[int] = None) -> None:
@@ -96,16 +103,22 @@ class TracingSerialBackend(SerialBackend):
     def submit(
         self, units: Iterable[ScenarioUnit], timeout_s: Optional[float] = None
     ) -> Iterator[Tuple[ScenarioUnit, UnitResult]]:
-        from ...obs import use_tracer
+        from ...obs import analyze_group, derived_metrics, use_tracer
 
         for unit in units:
             budget = effective_timeout(unit, timeout_s)
-            self.recorder.set_group(f"{unit.scenario_id}:{unit.label}")
+            group = f"{unit.scenario_id}:{unit.label}"
+            self.recorder.set_group(group)
             with use_tracer(self.recorder):
                 if self.profile_top is not None:
                     result = execute_unit_profiled(unit, budget, top=self.profile_top)
                 else:
                     result = execute_unit(unit, budget)
+            analysis = analyze_group(self.recorder, group)
+            if analysis is not None:
+                # Analytic executors record no timeline; derived_metrics is
+                # then empty and the result stays extras-free.
+                result.extras = derived_metrics(analysis)
             yield unit, result
 
 

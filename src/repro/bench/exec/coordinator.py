@@ -94,17 +94,28 @@ class _Worker:
         self.jobs = jobs
         self.addr = addr
         self.last_seen = time.monotonic()
+        self.joined_at = time.monotonic()
         self.lease_ids: set = set()
+        #: Results this worker delivered (coordinator-side count).
+        self.units_done = 0
+        #: Wall-clock of the worker's most recent completed unit, as the
+        #: worker reported it (heartbeat/result piggyback; None until then).
+        self.last_wall_s: Optional[float] = None
+        #: In-flight unit progress from the latest heartbeat piggyback:
+        #: ``[{"unit": label, "lease": id, "running_s": s}, ...]``.
+        self.inflight: List[Dict[str, object]] = []
 
 
 class _Lease:
     def __init__(self, lease_id: int, batch: _Batch, index: int,
-                 worker_id: int, deadline: float) -> None:
+                 worker_id: int, deadline: float, attempt: int = 1) -> None:
         self.lease_id = lease_id
         self.batch = batch
         self.index = index
         self.worker_id = worker_id
         self.deadline = deadline
+        self.attempt = attempt
+        self.granted_at = time.monotonic()
         #: Set once the unit has been speculatively re-leased because this
         #: lease's holder went silent; prevents repeat speculation.
         self.speculated = False
@@ -127,6 +138,7 @@ class Coordinator:
         worker_timeout_s: Optional[float] = None,
         lease_grace_s: float = DEFAULT_LEASE_GRACE_S,
         speculate_after_s: Optional[float] = None,
+        status_interval_s: float = 30.0,
         log: Optional[Callable[[str], None]] = None,
     ) -> None:
         if max_attempts <= 0:
@@ -151,6 +163,17 @@ class Coordinator:
             raise ValueError("speculate_after_s must be positive")
         #: Total speculative re-leases issued (introspection + tests).
         self.speculations = 0
+        #: Leases returned to the queue (worker death / expiry), and units
+        #: abandoned after exhausting their retry budget.
+        self.requeues = 0
+        self.exhausted = 0
+        #: Results recorded into batch ledgers (includes synthesized ones).
+        self.units_completed = 0
+        #: Interval of the periodic structured status snapshot on the run
+        #: log (0 disables); the live `status` wire verb is always served.
+        self.status_interval_s = status_interval_s
+        #: Worker-reported wall-clock per completed unit (count/total/last).
+        self._unit_wall = {"count": 0, "total_s": 0.0, "last_s": None}
         self._log = log or (lambda message: None)
         self._listen = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listen.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -160,10 +183,13 @@ class Coordinator:
         self._pending: deque = deque()  # of (_Batch, index)
         self._leases: Dict[int, _Lease] = {}
         self._workers: Dict[int, _Worker] = {}
+        self._batches: Dict[int, _Batch] = {}
         self._next_id = 0
         self._stopping = False
         self._threads: List[threading.Thread] = []
         self._started = False
+        self._started_at = time.monotonic()
+        self._last_status_emit = time.monotonic()
 
     # ------------------------------------------------------------------ lifecycle
     @property
@@ -219,6 +245,7 @@ class Coordinator:
                 raise RuntimeError("coordinator is closed")
             self._next_id += 1
             batch = _Batch(batch_units, timeout_s, self._next_id)
+            self._batches[batch.batch_id] = batch
             self._pending.extend((batch, index) for index in range(len(batch_units)))
         if not batch_units:
             return
@@ -253,6 +280,7 @@ class Coordinator:
     def _abort_batch(self, batch: _Batch) -> None:
         with self._lock:
             batch.aborted = True
+            self._batches.pop(batch.batch_id, None)
             self._pending = deque(
                 entry for entry in self._pending if entry[0] is not batch
             )
@@ -265,6 +293,7 @@ class Coordinator:
                 return False
             batch.results[index] = result
             batch.remaining -= 1
+            self.units_completed += 1
             done = batch.remaining == 0
         batch.out.put((index, result))
         if done:
@@ -288,6 +317,7 @@ class Coordinator:
                     lease_id=self._next_id, batch=batch, index=index,
                     worker_id=worker.worker_id,
                     deadline=time.monotonic() + budget + self.lease_grace_s,
+                    attempt=batch.attempts[index],
                 )
                 self._leases[lease.lease_id] = lease
                 worker.lease_ids.add(lease.lease_id)
@@ -312,7 +342,10 @@ class Coordinator:
             if batch.aborted or index in batch.results:
                 return
             exhausted = batch.attempts[index] >= self.max_attempts
-            if not exhausted:
+            if exhausted:
+                self.exhausted += 1
+            else:
+                self.requeues += 1
                 self._pending.appendleft((batch, index))
         unit = batch.units[index]
         if exhausted:
@@ -386,6 +419,10 @@ class Coordinator:
                 )
                 _log.debug("lease_speculated", unit=unit.label,
                            worker=lease.worker_id, lease=lease.lease_id)
+            if (self.status_interval_s > 0
+                    and now - self._last_status_emit >= self.status_interval_s):
+                self._last_status_emit = now
+                self._emit_status_snapshot()
 
     def _serve_connection(self, sock: socket.socket, addr: Tuple[str, int]) -> None:
         try:
@@ -404,6 +441,8 @@ class Coordinator:
                 self._serve_worker(sock, addr, int(hello.get("jobs", 1)))
             elif role == "driver":
                 self._serve_driver(sock)
+            elif role == "status":
+                self._serve_status(sock)
             else:
                 send_message(sock, {"type": "error",
                                     "message": f"unknown role {role!r}"})
@@ -440,7 +479,18 @@ class Coordinator:
                 elif kind == "result":
                     self._handle_result(worker, message)
                 elif kind == "heartbeat":
-                    pass  # last_seen already refreshed
+                    # last_seen is already refreshed; newer workers piggyback
+                    # per-unit progress on the beat (older ones send bare
+                    # heartbeats — every field is optional).
+                    inflight = message.get("inflight")
+                    if isinstance(inflight, list):
+                        worker.inflight = [
+                            dict(entry) for entry in inflight
+                            if isinstance(entry, dict)
+                        ]
+                    last_wall = message.get("last_wall_s")
+                    if last_wall is not None:
+                        worker.last_wall_s = float(last_wall)
                 elif kind == "goodbye":
                     break
         except (WireError, OSError):
@@ -450,10 +500,18 @@ class Coordinator:
 
     def _handle_result(self, worker: _Worker, message: Dict[str, object]) -> None:
         lease_id = int(message.get("lease_id", -1))
+        wall_s = message.get("wall_s")
         with self._lock:
             lease = self._leases.pop(lease_id, None)
             if lease is not None:
                 worker.lease_ids.discard(lease_id)
+                worker.units_done += 1
+                if wall_s is not None:
+                    wall_s = float(wall_s)
+                    worker.last_wall_s = wall_s
+                    self._unit_wall["count"] += 1
+                    self._unit_wall["total_s"] += wall_s
+                    self._unit_wall["last_s"] = wall_s
         if lease is None:
             self._log(f"dropping stale result for lease {lease_id} "
                       f"from worker {worker.worker_id}")
@@ -512,6 +570,123 @@ class Coordinator:
                 sock.close()
             except OSError:
                 pass
+
+    # ------------------------------------------------------------------ status surface
+    def _serve_status(self, sock: socket.socket) -> None:
+        """Serve the ``status`` wire role: each ``{"type": "status"}`` frame
+        gets one live snapshot back (``repro-bench status --watch`` keeps the
+        connection open and re-requests)."""
+        send_message(sock, {"type": "welcome"})
+        try:
+            while True:
+                message = recv_message(sock)
+                kind = message.get("type")
+                if kind == "status":
+                    send_message(sock, {"type": "status",
+                                        "status": self.status_snapshot()})
+                elif kind == "goodbye":
+                    return
+        except (WireError, OSError):
+            pass  # observer went away; nothing to clean up
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def status_snapshot(self) -> Dict[str, object]:
+        """A JSON-serializable live view of the fleet (the telemetry
+        registry): queue depth, workers with heartbeat ages and in-flight
+        progress, outstanding leases, batch ledgers and lifetime counters."""
+        now = time.monotonic()
+        with self._lock:
+            workers = [
+                {
+                    "worker_id": worker.worker_id,
+                    "host": worker.addr[0],
+                    "port": worker.addr[1],
+                    "jobs": worker.jobs,
+                    "heartbeat_age_s": round(now - worker.last_seen, 3),
+                    "uptime_s": round(now - worker.joined_at, 3),
+                    "leases": len(worker.lease_ids),
+                    "units_done": worker.units_done,
+                    "last_wall_s": worker.last_wall_s,
+                    "inflight": [dict(entry) for entry in worker.inflight],
+                }
+                for worker in self._workers.values()
+            ]
+            leases = [
+                {
+                    "lease_id": lease.lease_id,
+                    "unit": lease.batch.units[lease.index].label,
+                    "scenario_id": lease.batch.units[lease.index].scenario_id,
+                    "worker_id": lease.worker_id,
+                    "attempt": lease.attempt,
+                    "age_s": round(now - lease.granted_at, 3),
+                    "deadline_in_s": round(lease.deadline - now, 3),
+                    "speculated": lease.speculated,
+                }
+                for lease in self._leases.values()
+            ]
+            batches = [
+                {
+                    "batch_id": batch.batch_id,
+                    "units": len(batch.units),
+                    "completed": len(batch.results),
+                    "remaining": batch.remaining,
+                }
+                for batch in self._batches.values()
+            ]
+            counters = {
+                "units_completed": self.units_completed,
+                "requeues": self.requeues,
+                "speculations": self.speculations,
+                "units_exhausted": self.exhausted,
+            }
+            wall = dict(self._unit_wall)
+            queue_depth = len(self._pending)
+        wall_stats: Dict[str, object] = {
+            "count": wall["count"],
+            "mean_s": (round(wall["total_s"] / wall["count"], 3)
+                       if wall["count"] else None),
+            "last_s": wall["last_s"],
+        }
+        workers.sort(key=lambda w: w["worker_id"])
+        leases.sort(key=lambda l: l["lease_id"])
+        batches.sort(key=lambda b: b["batch_id"])
+        return {
+            "queue_depth": queue_depth,
+            "workers": workers,
+            "leases": leases,
+            "batches": batches,
+            "counters": counters,
+            "unit_wall_s": wall_stats,
+            "heartbeat_s": self.heartbeat_s,
+            "uptime_s": round(now - self._started_at, 3),
+        }
+
+    def _emit_status_snapshot(self) -> None:
+        """Periodic structured run-log twin of the live wire snapshot."""
+        snapshot = self.status_snapshot()
+        if not (snapshot["workers"] or snapshot["leases"]
+                or snapshot["queue_depth"]):
+            return  # an idle, worker-less coordinator stays quiet
+        counters: Dict[str, int] = snapshot["counters"]
+        _log.info(
+            "status_snapshot",
+            message=(
+                f"status: queue={snapshot['queue_depth']} "
+                f"leases={len(snapshot['leases'])} "
+                f"workers={len(snapshot['workers'])} "
+                f"completed={counters['units_completed']} "
+                f"requeues={counters['requeues']} "
+                f"speculations={counters['speculations']}"
+            ),
+            queue_depth=snapshot["queue_depth"],
+            leases=len(snapshot["leases"]),
+            workers=len(snapshot["workers"]),
+            **counters,
+        )
 
     # ------------------------------------------------------------------ introspection
     def worker_count(self) -> int:

@@ -125,6 +125,7 @@ def run_worker(
         emit(f"worker {worker_id} serving {host}:{port} with {jobs} job slot(s)")
         last_beat = time.monotonic()
         backoff_until = 0.0
+        last_wall_s: Optional[float] = None  # most recent unit wall-clock
         drained = False  # max_units reached; finish in-flight leases and leave
         while True:
             progressed = False
@@ -132,13 +133,15 @@ def run_worker(
             for future in [f for f in inflight if f.done()]:
                 lease_id, label, granted_at = inflight.pop(future)
                 result = future.result()  # execute_unit never raises
+                wall_s = time.monotonic() - granted_at
                 send_message(sock, {
                     "type": "result", "lease_id": lease_id,
                     "result": result_to_wire(result),
+                    "wall_s": round(wall_s, 3),
                 })
                 executed += 1
                 progressed = True
-                wall_s = time.monotonic() - granted_at
+                last_wall_s = round(wall_s, 3)
                 emit(f"unit {label} done (lease {lease_id}, "
                      f"status {result.status}, {wall_s:.2f}s wall)")
                 _log.debug("unit_done", unit=label, lease=lease_id,
@@ -170,9 +173,21 @@ def run_worker(
                     emit(f"shutdown received after {executed} unit(s)")
                     return 0
                 last_beat = time.monotonic()
-            # ---- keep the lease-liveness signal flowing
+            # ---- keep the lease-liveness signal flowing (with piggybacked
+            # per-unit progress so the coordinator's status surface can show
+            # what each worker is actually chewing on)
             if time.monotonic() - last_beat >= heartbeat_s:
-                send_message(sock, {"type": "heartbeat"})
+                now = time.monotonic()
+                send_message(sock, {
+                    "type": "heartbeat",
+                    "executed": executed,
+                    "inflight": [
+                        {"unit": label, "lease": lease_id,
+                         "running_s": round(now - granted_at, 3)}
+                        for lease_id, label, granted_at in inflight.values()
+                    ],
+                    "last_wall_s": last_wall_s,
+                })
                 last_beat = time.monotonic()
             if not progressed:
                 time.sleep(0.05)

@@ -53,6 +53,12 @@ class UnitResult:
     status: str = "ok"  # ok | failed | timeout
     metrics: Dict[str, float] = field(default_factory=dict)
     error: str = ""
+    #: Derived (trace-analytics) metrics — attached only when a traced run's
+    #: recorder produced a timeline for this unit.  Kept out of ``metrics``
+    #: (and out of ``as_dict`` when empty) so nominal untraced artifacts are
+    #: byte-identical with or without analytics; ``compare`` gates these only
+    #: via an explicit ``--derived-metric`` opt-in.
+    extras: Dict[str, float] = field(default_factory=dict)
     #: Optional cProfile report (``--profile`` runs only); never persisted.
     profile_text: str = field(default="", compare=False, repr=False)
     #: Structured top-N hotspots (``--profile-json``); like ``profile_text``,
@@ -73,7 +79,7 @@ class UnitResult:
         return ":".join(parts)
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload = {
             "scenario_id": self.scenario_id,
             "system": self.system,
             "model_size": self.model_size,
@@ -84,6 +90,9 @@ class UnitResult:
             "metrics": dict(sorted(self.metrics.items())),
             "error": self.error,
         }
+        if self.extras:
+            payload["extras"] = dict(sorted(self.extras.items()))
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "UnitResult":
@@ -97,6 +106,7 @@ class UnitResult:
             status=str(payload.get("status", "ok")),
             metrics=dict(payload.get("metrics", {})),
             error=str(payload.get("error", "")),
+            extras=dict(payload.get("extras", {})),
         )
 
 

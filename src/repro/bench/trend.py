@@ -245,7 +245,9 @@ def metric_series(
     """Per-series history of one metric for one scenario.
 
     ``metric="elapsed_s"`` yields the scenario wall-clock as a single
-    series; any other name is looked up in every unit's metrics dict (so
+    series; any other name is looked up in every unit's metrics dict, falling
+    back to the unit's trace-analytics ``extras`` (so derived metrics like
+    ``critical_path_gen_share`` from traced artifacts are minable too —
     bisection is not limited to the kind's primary metric).
     """
     runs = len(snapshots)
@@ -259,10 +261,13 @@ def metric_series(
                 row[index] = float(result.elapsed_s)
                 continue
             for unit in result.units:
-                if metric not in unit.metrics:
+                value = unit.metrics.get(metric)
+                if value is None:
+                    value = unit.extras.get(metric)
+                if value is None:
                     continue
                 row = series.setdefault(unit.label, [None] * runs)
-                row[index] = float(unit.metrics[metric])
+                row[index] = float(value)
     return series
 
 

@@ -13,10 +13,28 @@ Two complementary surfaces:
   logs for the CLI and the distributed coordinator/worker fleet, with
   human-readable or JSON-lines console output.
 
+* **Analysis** (:mod:`.analysis`) — critical-path attribution over recorded
+  timelines: per-iteration phase attribution, per-track busy/idle/overlap
+  tables, top-k span-family ranking and the curated derived-metric subset
+  (``gen_bubble_frac``, ``sync_frac``, ``critical_path_*_share``) the bench
+  layer attaches to traced results.
+
 This package deliberately imports nothing from the rest of ``repro`` so the
 event engine can attach the active tracer without an import cycle.
 """
 
+from .analysis import (
+    DERIVED_METRIC_KEYS,
+    GroupAnalysis,
+    TraceAnalysis,
+    analyze_group,
+    analyze_recorder,
+    derived_metrics,
+    diff_analyses,
+    load_chrome_trace,
+    render_analysis,
+    render_diff,
+)
 from .export import chrome_trace, summarise_trace, write_chrome_trace
 from .runlog import RunLogger, configure_logging, get_run_logger
 from .trace import (
@@ -33,17 +51,27 @@ from .trace import (
 
 __all__ = [
     "CounterSample",
+    "DERIVED_METRIC_KEYS",
+    "GroupAnalysis",
     "Instant",
     "NULL_TRACER",
     "NullTracer",
     "RunLogger",
     "Span",
+    "TraceAnalysis",
     "TraceRecorder",
     "Tracer",
+    "analyze_group",
+    "analyze_recorder",
     "chrome_trace",
     "configure_logging",
     "current_tracer",
+    "derived_metrics",
+    "diff_analyses",
     "get_run_logger",
+    "load_chrome_trace",
+    "render_analysis",
+    "render_diff",
     "summarise_trace",
     "use_tracer",
     "write_chrome_trace",

@@ -688,6 +688,13 @@ class LaminarRuntime(ReplicaFleet):
             for replica in list(system.replicas.values()):
                 self.catch_up(replica)
             recovery_at = system._apply_rollout_failure(event, env.now)
+            if env.tracer.enabled:
+                # The recovery deadline is known the instant the failure is
+                # applied, so the outage is recordable as one complete span —
+                # trace analytics attributes it to the "recovery" family.
+                env.tracer.span(f"machine-{event.target}", "recovery",
+                                env.now, max(env.now, recovery_at),
+                                args={"kind": str(event.kind)})
             env.process(
                 self._recovery(recovery_at, event.target),
                 name=f"recover-machine-{event.target}",
@@ -696,10 +703,13 @@ class LaminarRuntime(ReplicaFleet):
             self.notify_refill()
         elif event.kind == FailureKind.RELAY:
             system.relay.fail_machine(event.target)
+            relay_recovery_at = event.time + system.recovery.relay_recovery_time()
+            if env.tracer.enabled:
+                env.tracer.span(f"machine-{event.target}", "recovery",
+                                env.now, max(env.now, relay_recovery_at),
+                                args={"kind": str(event.kind)})
             env.process(
-                self._relay_recovery(
-                    event.time + system.recovery.relay_recovery_time(), event.target
-                ),
+                self._relay_recovery(relay_recovery_at, event.target),
                 name=f"recover-relay-{event.target}",
             )
         elif event.kind == FailureKind.TRAINER:
@@ -708,6 +718,10 @@ class LaminarRuntime(ReplicaFleet):
             # iteration may not start until the restore finishes.
             restore = system.recovery.trainer_recovery_time()
             if self._trainer_process is not None and self._trainer_process.is_alive:
+                if env.tracer.enabled:
+                    env.tracer.span("trainer", "recovery", env.now,
+                                    env.now + restore,
+                                    args={"kind": str(event.kind)})
                 self._trainer_process.interrupt(cause=restore)
         elif event.kind == FailureKind.STRAGGLER:
             for replica in list(system.replicas.values()):
@@ -742,6 +756,10 @@ class LaminarRuntime(ReplicaFleet):
             for replica in list(system.replicas.values()):
                 self.catch_up(replica)
             recovery_at = system._apply_spot_preemption(event, env.now)
+            if env.tracer.enabled:
+                env.tracer.span(f"machine-{event.target}", "recovery",
+                                env.now, max(env.now, recovery_at),
+                                args={"kind": str(event.kind)})
             env.process(
                 self._recovery(recovery_at, event.target),
                 name=f"recover-machine-{event.target}",

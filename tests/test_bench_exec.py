@@ -3,6 +3,7 @@ fault paths (worker crash mid-lease, lease expiry, duplicate delivery, retry
 budgets) and backend-vs-serial bit-equivalence — including the chaos drill
 that kills a worker mid-grid."""
 
+import json
 import os
 import signal
 import socket
@@ -516,3 +517,173 @@ def test_cli_compare_backend_flags_validated(tmp_path, capsys):
                        "--candidate", artifact, "--backend", "queue"])
     assert code == 2
     assert "re-runs only" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------- fleet telemetry
+class _StatusConn:
+    """Drive the coordinator's ``status`` wire role by hand."""
+
+    def __init__(self, coordinator):
+        self.sock = socket.create_connection(coordinator.address, timeout=10.0)
+        self.sock.settimeout(10.0)
+        send_message(self.sock, {"type": "hello", "role": "status",
+                                 "wire_version": 1})
+        welcome = recv_message(self.sock)
+        assert welcome["type"] == "welcome"
+
+    def snapshot(self):
+        send_message(self.sock, {"type": "status"})
+        reply = recv_message(self.sock)
+        assert reply["type"] == "status"
+        return reply["status"]
+
+    def close(self):
+        try:
+            send_message(self.sock, {"type": "goodbye"})
+        except OSError:
+            pass
+        self.sock.close()
+
+
+def test_status_snapshot_tracks_queue_leases_and_counters():
+    units = _coordinator_units(2)
+    with Coordinator(heartbeat_s=0.25) as coordinator:
+        status = _StatusConn(coordinator)
+        empty = status.snapshot()
+        assert empty["queue_depth"] == 0
+        assert empty["workers"] == [] and empty["leases"] == []
+        assert empty["counters"]["units_completed"] == 0
+        assert empty["unit_wall_s"] == {"count": 0, "mean_s": None,
+                                        "last_s": None}
+        assert json.dumps(empty)  # the whole snapshot is JSON-serializable
+
+        collected = []
+        done = threading.Event()
+
+        def consume():
+            for item in coordinator.submit_units(units):
+                collected.append(item)
+            done.set()
+
+        threading.Thread(target=consume, daemon=True).start()
+        worker = _FakeWorkerConn(coordinator)
+        leases = []
+        while len(leases) < 2:
+            reply = worker.lease()
+            if reply["type"] == "unit":
+                leases.append(reply)
+            else:
+                time.sleep(0.05)
+
+        mid = status.snapshot()
+        assert {l["lease_id"] for l in mid["leases"]} == {
+            r["lease_id"] for r in leases
+        }
+        lease = mid["leases"][0]
+        assert lease["scenario_id"] == units[0].scenario_id
+        assert lease["attempt"] == 1 and not lease["speculated"]
+        assert lease["deadline_in_s"] > 0
+        assert mid["workers"][0]["leases"] == 2
+        assert mid["batches"] == [
+            {"batch_id": mid["batches"][0]["batch_id"], "units": 2,
+             "completed": 0, "remaining": 2}
+        ]
+
+        for reply in leases:
+            unit = unit_from_wire(reply["unit"])
+            result = execute_unit(unit, reply["timeout_s"])
+            send_message(worker.sock, {
+                "type": "result", "lease_id": reply["lease_id"],
+                "result": result.as_dict(), "wall_s": 0.5,
+            })
+        assert done.wait(timeout=30)
+        final = status.snapshot()
+        assert final["counters"]["units_completed"] == 2
+        assert final["counters"]["requeues"] == 0
+        assert final["unit_wall_s"]["count"] == 2
+        assert final["unit_wall_s"]["mean_s"] == pytest.approx(0.5)
+        assert final["workers"][0]["units_done"] == 2
+        assert final["workers"][0]["last_wall_s"] == pytest.approx(0.5)
+        assert final["batches"] == []  # completed batches leave the ledger
+        worker.close()
+        status.close()
+    assert len(collected) == 2
+
+
+def test_heartbeat_piggyback_surfaces_inflight_progress():
+    with Coordinator(heartbeat_s=0.25) as coordinator:
+        worker = _FakeWorkerConn(coordinator)
+        send_message(worker.sock, {
+            "type": "heartbeat",
+            "inflight": [{"unit": "laminar:7B/16gpu", "lease": 7,
+                          "running_s": 1.25}],
+            "last_wall_s": 3.5,
+        })
+        status = _StatusConn(coordinator)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            snap = status.snapshot()
+            if snap["workers"] and snap["workers"][0]["inflight"]:
+                break
+            time.sleep(0.05)
+        entry = snap["workers"][0]
+        assert entry["inflight"] == [{"unit": "laminar:7B/16gpu", "lease": 7,
+                                      "running_s": 1.25}]
+        assert entry["last_wall_s"] == 3.5
+        # A bare heartbeat (an older worker) clears nothing and breaks nothing.
+        send_message(worker.sock, {"type": "heartbeat"})
+        time.sleep(0.2)
+        assert status.snapshot()["workers"][0]["last_wall_s"] == 3.5
+        status.close()
+        worker.close()
+
+
+def test_real_worker_heartbeats_carry_wall_clock(tiny_scenario):
+    units = [u for u in tiny_scenario.expand() if u.system == "laminar"]
+    with Coordinator(heartbeat_s=0.25) as coordinator:
+        host, port = coordinator.address
+        worker = _spawn_worker(host, port, jobs=1)
+        status = _StatusConn(coordinator)
+        try:
+            results = list(coordinator.submit_units(units, timeout_s=120.0))
+            assert len(results) == len(units)
+            deadline = time.monotonic() + 15.0
+            seen = None
+            while time.monotonic() < deadline:
+                snap = status.snapshot()
+                if snap["counters"]["units_completed"] == len(units):
+                    seen = snap
+                    break
+                time.sleep(0.1)
+            assert seen is not None
+            assert seen["unit_wall_s"]["count"] == len(units)
+            assert seen["unit_wall_s"]["mean_s"] > 0
+        finally:
+            status.close()
+            coordinator.close()
+            worker.wait(timeout=30)
+
+
+def test_cli_status_renders_and_emits_json(capsys):
+    with Coordinator() as coordinator:
+        host, port = coordinator.address
+        assert bench_main(["status", "--connect", f"{host}:{port}"]) == 0
+        out = capsys.readouterr().out
+        assert f"coordinator {host}:{port}" in out
+        assert "no workers connected" in out
+        assert bench_main(["status", "--connect", f"{host}:{port}",
+                           "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert set(snapshot) >= {"queue_depth", "workers", "leases",
+                                 "batches", "counters", "unit_wall_s"}
+
+
+def test_cli_status_unreachable_coordinator(capsys):
+    # A port nothing listens on: connect must fail fast with exit 1.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    free_port = probe.getsockname()[1]
+    probe.close()
+    assert bench_main(["status", "--connect",
+                       f"127.0.0.1:{free_port}"]) == 1
+    assert "could not reach coordinator" in capsys.readouterr().err

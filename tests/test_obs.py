@@ -202,33 +202,47 @@ def test_cli_trace_round_trip(tmp_path, obs_scenario, capsys):
                        "-o", str(out_path)])
     assert code == 0
     out = capsys.readouterr().out
-    assert "trace summary:" in out and f"wrote {out_path}" in out
+    assert "2 unit trace(s) written" in out
 
-    payload = json.loads(out_path.read_text())
-    events = payload["traceEvents"]
-    procs = [e for e in events if e["ph"] == "M" and e["name"] == "process_name"]
-    assert {p["args"]["name"] for p in procs} == {
-        f"{obs_scenario.id}:verl:7B/16gpu",
-        f"{obs_scenario.id}:laminar:7B/16gpu",
+    # --all-units writes one collision-free file per unit, named for the
+    # unit's stable grid identity.
+    per_unit = {
+        tmp_path / f"trace.{obs_scenario.id}.u000.verl.json":
+            f"{obs_scenario.id}:verl:7B/16gpu",
+        tmp_path / f"trace.{obs_scenario.id}.u001.laminar.json":
+            f"{obs_scenario.id}:laminar:7B/16gpu",
     }
-    threads = [e for e in events if e["ph"] == "M" and e["name"] == "thread_name"]
+    assert not out_path.exists()  # no merged blob alongside the per-unit files
+    events = []
+    for path, group in per_unit.items():
+        assert path.exists(), path
+        unit_events = json.loads(path.read_text())["traceEvents"]
+        procs = [e for e in unit_events
+                 if e["ph"] == "M" and e["name"] == "process_name"]
+        assert {p["args"]["name"] for p in procs} == {group}
+        # pids restart per file, so event streams must never be merged
+        # key-blind across files.
+        events.extend((group, e) for e in unit_events)
+    threads = [e for _, e in events
+               if e["ph"] == "M" and e["name"] == "thread_name"]
     track_names = {t["args"]["name"] for t in threads}
     assert "trainer" in track_names and "sync" in track_names
 
-    spans = [e for e in events if e["ph"] == "X"]
-    assert spans and all(e["dur"] >= 0 for e in spans)
+    spans = [(g, e) for g, e in events if e["ph"] == "X"]
+    assert spans and all(e["dur"] >= 0 for _, e in spans)
     # Same-name spans on one track never partially overlap: consecutive
     # instances are either disjoint (iterations tile the run) or nested.
     by_key = defaultdict(list)
-    for e in spans:
-        by_key[(e["pid"], e["tid"], e["name"])].append((e["ts"], e["ts"] + e["dur"]))
-    for (_, _, name), intervals in by_key.items():
+    for g, e in spans:
+        by_key[(g, e["pid"], e["tid"], e["name"])].append(
+            (e["ts"], e["ts"] + e["dur"]))
+    for (_, _, _, name), intervals in by_key.items():
         intervals.sort()
         for (b1, e1), (b2, e2) in zip(intervals, intervals[1:]):
             disjoint = b2 >= e1 - 1e-3  # trace-us jitter tolerance
             nested = e2 <= e1 + 1e-3
             assert disjoint or nested, (name, (b1, e1), (b2, e2))
-    assert any(e["ph"] == "C" for e in events)  # token/KV counters made it
+    assert any(e["ph"] == "C" for _, e in events)  # token/KV counters made it
 
 
 def test_cli_trace_rejects_out_of_range_unit(obs_scenario, capsys):
@@ -296,6 +310,47 @@ def test_run_logger_json_lines():
         assert record["logger"] == "repro.test.obs"
     finally:
         configure_logging()
+
+
+def test_run_logger_json_lines_one_object_per_line():
+    stream = io.StringIO()
+    configure_logging(level="debug", json_lines=True, stream=stream)
+    try:
+        log = get_run_logger("test.obs")
+        log.debug("first", message="m1", x=1)
+        log.info("second", message="m2", nested={"a": [1, 2]})
+        log.warning("third", message="m3")
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            record = json.loads(line)  # exactly one JSON object per line
+            assert {"level", "logger", "event", "message"} <= set(record)
+        records = [json.loads(line) for line in lines]
+        assert [r["event"] for r in records] == ["first", "second", "third"]
+        assert [r["level"] for r in records] == ["debug", "info", "warning"]
+        assert records[1]["fields"]["nested"] == {"a": [1, 2]}
+        assert "fields" not in records[2]  # empty fields stay off the record
+    finally:
+        configure_logging()
+
+
+def test_cli_log_json_keeps_deliverables_plain(obs_scenario, capsys):
+    assert bench_main(["run", "--scenario", obs_scenario.id,
+                       "--no-save", "--log-json"]) == 0
+    out = capsys.readouterr().out
+    json_lines = []
+    for line in out.splitlines():
+        try:
+            json_lines.append(json.loads(line))
+        except ValueError:
+            continue
+    # Progress became JSON records with event + fields...
+    events = {r["event"] for r in json_lines}
+    assert "run_start" in events and "unit_done" in events
+    assert all("fields" in r for r in json_lines
+               if r["event"] in ("run_start", "unit_done"))
+    # ...while the results table still prints as plain text.
+    assert obs_scenario.id in out
 
 
 def test_run_logger_quiet_suppresses_info_keeps_warnings():

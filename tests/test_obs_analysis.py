@@ -1,0 +1,362 @@
+"""Tests for ``repro.obs.analysis``: critical-path attribution, trace
+round-tripping, derived-metric extras and their compare/CLI surfaces.
+
+The attribution math is pinned on hand-built recorders (exact expected
+seconds), then cross-checked on real system traces: verl's barrier loop must
+come out generation-bound with a non-trivial bubble fraction, while Laminar
+(no generation spans — continuous generation is counter-tracked) must not
+report a bubble fraction at all, and a faulted Laminar run must show its
+recovery time in the span-family table.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.bench.cli import main as bench_main
+from repro.bench.compare import (
+    VERDICT_REGRESSION,
+    compare_runs,
+    judge_derived,
+)
+from repro.bench.registry import (
+    ScenarioConfig,
+    register_scenario,
+    unregister_scenario,
+)
+from repro.bench.runner import ScenarioResult, UnitResult
+from repro.obs import (
+    DERIVED_METRIC_KEYS,
+    TraceRecorder,
+    analyze_group,
+    analyze_recorder,
+    chrome_trace,
+    derived_metrics,
+    diff_analyses,
+    load_chrome_trace,
+    render_analysis,
+    render_diff,
+    use_tracer,
+)
+from repro.obs.analysis import OTHER_PHASE, PHASE_PRIORITY, SPAN_FAMILIES
+
+
+@pytest.fixture
+def analysis_scenario():
+    scenario = register_scenario(ScenarioConfig(
+        id="obs_analysis_scenario",
+        description="test-only scenario for trace-analytics tests",
+        kind="throughput",
+        systems=("verl", "laminar"),
+        model_size="7B",
+        gpu_scales=(16,),
+        batch_scale=0.125,
+        iterations=2,
+        warmup=0,
+        timeout_s=300.0,
+        tags=("test-only",),
+    ))
+    yield scenario
+    unregister_scenario(scenario.id)
+
+
+def _hand_built_recorder():
+    """One iteration window [0, 8]: training [0, 2], sync [2, 3], generation
+    [0, 8].  Priority attribution: training=2, weight_sync=1, generation=5."""
+    recorder = TraceRecorder(group="unit")
+    recorder.span("trainer", "iteration", 0.0, 8.0)
+    recorder.span("trainer", "training", 0.0, 2.0)
+    recorder.span("sync", "weight_sync", 2.0, 3.0)
+    recorder.span("rollout", "generation", 0.0, 8.0)
+    return recorder
+
+
+# --------------------------------------------------------------------------- attribution math
+def test_critical_path_attribution_is_exact_and_exhaustive():
+    analysis = analyze_group(_hand_built_recorder(), "unit")
+    assert analysis is not None
+    assert len(analysis.iterations) == 1
+    path = analysis.iterations[0]
+    assert path.seconds["training"] == pytest.approx(2.0)
+    assert path.seconds["weight_sync"] == pytest.approx(1.0)
+    assert path.seconds["generation"] == pytest.approx(5.0)
+    assert path.seconds["repack"] == 0.0
+    assert sum(path.seconds.values()) == pytest.approx(path.duration)
+    assert sum(path.shares.values()) == pytest.approx(1.0)
+    assert path.bound == "generation"
+    assert analysis.bound == "generation"
+    assert sum(analysis.phase_shares.values()) == pytest.approx(1.0, abs=1e-12)
+
+
+def test_uncovered_window_time_is_attributed_to_other():
+    recorder = TraceRecorder(group="unit")
+    recorder.span("trainer", "iteration", 0.0, 10.0)
+    recorder.span("trainer", "training", 0.0, 4.0)
+    analysis = analyze_group(recorder, "unit")
+    path = analysis.iterations[0]
+    assert path.seconds["training"] == pytest.approx(4.0)
+    assert path.seconds[OTHER_PHASE] == pytest.approx(6.0)
+
+
+def test_priority_gives_overlapped_time_to_the_trainer_side():
+    recorder = TraceRecorder(group="unit")
+    recorder.span("trainer", "iteration", 0.0, 4.0)
+    recorder.span("trainer", "training", 0.0, 4.0)
+    recorder.span("rollout", "generation", 0.0, 4.0)
+    analysis = analyze_group(recorder, "unit")
+    path = analysis.iterations[0]
+    assert path.seconds["training"] == pytest.approx(4.0)
+    assert path.seconds["generation"] == 0.0
+
+
+def test_track_usage_busy_idle_overlap():
+    analysis = analyze_group(_hand_built_recorder(), "unit")
+    tracks = {t.track: t for t in analysis.tracks}
+    assert tracks["sync"].busy_s == pytest.approx(1.0)
+    assert tracks["sync"].idle_s == pytest.approx(7.0)
+    # The sync span runs entirely while trainer + rollout are busy.
+    assert tracks["sync"].overlap_s == pytest.approx(1.0)
+    assert tracks["rollout"].utilization == pytest.approx(1.0)
+
+
+def test_family_usage_unions_overlapping_spans():
+    recorder = TraceRecorder(group="unit")
+    recorder.span("replica-0", "generate", 0.0, 6.0)
+    recorder.span("replica-1", "generate", 4.0, 10.0)
+    analysis = analyze_group(recorder, "unit")
+    family = next(f for f in analysis.families if f.name == "generate")
+    assert family.count == 2
+    assert family.total_s == pytest.approx(12.0)  # double-counts the overlap
+    assert family.busy_s == pytest.approx(10.0)   # union does not
+    assert family.window_share == pytest.approx(1.0)
+
+
+def test_empty_group_analyzes_to_none():
+    assert analyze_group(TraceRecorder(), "nope") is None
+    assert analyze_recorder(TraceRecorder()).groups == []
+
+
+# --------------------------------------------------------------------------- derived metrics
+def test_derived_metrics_shape_and_bubble_gating():
+    analysis = analyze_group(_hand_built_recorder(), "unit")
+    derived = derived_metrics(analysis)
+    assert set(derived) <= set(DERIVED_METRIC_KEYS)
+    # generation covers the whole window -> zero bubble; sync union is 1s/8s.
+    assert derived["gen_bubble_frac"] == pytest.approx(0.0)
+    assert derived["sync_frac"] == pytest.approx(1.0 / 8.0)
+    assert derived["critical_path_gen_share"] == pytest.approx(5.0 / 8.0)
+
+    # Without generation-family spans the bubble fraction would be a
+    # tautological 1.0, so it must be absent — the Laminar case.
+    no_gen = TraceRecorder(group="unit")
+    no_gen.span("trainer", "iteration", 0.0, 8.0)
+    no_gen.span("trainer", "training", 0.0, 8.0)
+    derived = derived_metrics(analyze_group(no_gen, "unit"))
+    assert "gen_bubble_frac" not in derived
+    assert derived["critical_path_train_share"] == pytest.approx(1.0)
+
+
+# --------------------------------------------------------------------------- chrome-trace round-trip
+def test_load_chrome_trace_round_trips_events_and_analysis():
+    recorder = _hand_built_recorder()
+    recorder.instant("trainer", "staleness", 3.0, args={"mean": 0.25})
+    recorder.counter("replica-0", "tokens", 1.0, 128.0)
+    recorder.counter("replica-0", "tokens", 2.0, 256.0)
+    reloaded = load_chrome_trace(chrome_trace(recorder))
+    assert reloaded.groups() == recorder.groups()
+    assert reloaded.tracks() == recorder.tracks()
+    assert len(reloaded.spans) == len(recorder.spans)
+    assert len(reloaded.instants) == len(recorder.instants)
+    assert len(reloaded.counters) == len(recorder.counters)
+    assert reloaded.instants[0].args == {"mean": 0.25}
+    # Timestamps survive the microsecond scaling to float precision.
+    for original, back in zip(recorder.spans, reloaded.spans):
+        assert back.begin == pytest.approx(original.begin, abs=1e-9)
+        assert back.end == pytest.approx(original.end, abs=1e-9)
+    assert [c.value for c in reloaded.counters] == [128.0, 256.0]
+
+    original = analyze_recorder(recorder).as_dict()
+    round_tripped = analyze_recorder(reloaded).as_dict()
+    assert set(original["groups"]) == set(round_tripped["groups"])
+    a = original["groups"]["unit"]
+    b = round_tripped["groups"]["unit"]
+    for phase in (*PHASE_PRIORITY, OTHER_PHASE):
+        assert b["phase_seconds"][phase] == pytest.approx(
+            a["phase_seconds"][phase], abs=1e-6)
+
+
+def test_load_chrome_trace_rejects_non_trace_payload():
+    with pytest.raises(ValueError):
+        load_chrome_trace({"not": "a trace"})
+
+
+# --------------------------------------------------------------------------- real systems
+def _traced_unit_analysis(scenario, system):
+    unit = next(u for u in scenario.expand() if u.system == system)
+    recorder = TraceRecorder(group=f"{unit.scenario_id}:{unit.label}")
+    from repro.bench.runner import system_for_unit
+
+    with use_tracer(recorder):
+        system_for_unit(unit).run()
+    return analyze_recorder(recorder).groups[0]
+
+
+def test_verl_trace_is_generation_bound(analysis_scenario):
+    g = _traced_unit_analysis(analysis_scenario, "verl")
+    assert g.bound == "generation"
+    assert g.derived["critical_path_gen_share"] > 0.5
+    assert 0.0 < g.derived["gen_bubble_frac"] < 1.0
+    assert sum(g.phase_shares.values()) == pytest.approx(1.0, abs=1e-9)
+    assert sum(p.shares.get("generation", 0.0) > 0 for p in g.iterations)
+
+
+def test_laminar_trace_has_no_bubble_metric(analysis_scenario):
+    g = _traced_unit_analysis(analysis_scenario, "laminar")
+    # Laminar generation is continuous and off-span (counters carry it), so
+    # the bubble fraction must be absent rather than a meaningless 1.0.
+    assert "gen_bubble_frac" not in g.derived
+    assert g.derived["critical_path_train_share"] > 0.0
+    assert sum(g.phase_shares.values()) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_faulted_laminar_attributes_recovery_family():
+    from repro.bench.registry import get_scenario
+
+    # The committed chaos drill: seeded fault storms on the Laminar simulator.
+    g = _traced_unit_analysis(get_scenario("chaos_7b"), "laminar")
+    recovery = [f for f in g.families if SPAN_FAMILIES.get(f.name) == "recovery"]
+    assert recovery and recovery[0].busy_s > 0.0
+    assert sum(g.phase_shares.values()) == pytest.approx(1.0, abs=1e-9)
+
+
+# --------------------------------------------------------------------------- bench extras
+def test_traced_backend_attaches_derived_extras(analysis_scenario):
+    from repro.bench.exec import TracingSerialBackend
+    from repro.bench.runner import run_scenarios
+
+    recorder = TraceRecorder()
+    results = run_scenarios([analysis_scenario],
+                            backend=TracingSerialBackend(recorder))
+    units = {u.system: u for u in results[0].units}
+    assert set(units["verl"].extras) <= set(DERIVED_METRIC_KEYS)
+    assert units["verl"].extras["critical_path_gen_share"] > 0.5
+    assert "gen_bubble_frac" not in units["laminar"].extras
+    # Extras ride the artifact round-trip but never touch metrics.
+    payload = units["verl"].as_dict()
+    assert "extras" in payload
+    assert set(payload["extras"]).isdisjoint(payload["metrics"])
+    assert UnitResult.from_dict(payload).extras == units["verl"].extras
+    # Untraced units serialize without the key (artifact byte-identity).
+    plain = run_scenarios([analysis_scenario])[0].units[0]
+    assert "extras" not in plain.as_dict()
+
+
+# --------------------------------------------------------------------------- derived gates
+def _result_with_extras(extras):
+    unit = UnitResult(
+        scenario_id="s", system="laminar", model_size="7B", total_gpus=16,
+        variant="", seed=0, status="ok",
+        metrics={"throughput_tok_s": 100.0}, extras=dict(extras),
+    )
+    return ScenarioResult(scenario_id="s", kind="throughput", units=[unit])
+
+
+def test_judge_derived_gates_both_directions_and_skips_missing():
+    base = _result_with_extras({"sync_frac": 0.10}).units[0]
+    up = _result_with_extras({"sync_frac": 0.20}).units[0]
+    down = _result_with_extras({"sync_frac": 0.05}).units[0]
+    near = _result_with_extras({"sync_frac": 0.101}).units[0]
+    assert judge_derived("sync_frac", base, up, 0.05).verdict == VERDICT_REGRESSION
+    assert judge_derived("sync_frac", base, down, 0.05).verdict == VERDICT_REGRESSION
+    assert judge_derived("sync_frac", base, near, 0.05).passed
+    # Either side missing the metric (untraced run) -> skipped, not failed.
+    untraced = _result_with_extras({}).units[0]
+    assert judge_derived("sync_frac", untraced, up, 0.05) is None
+    assert judge_derived("sync_frac", base, untraced, 0.05) is None
+    zero = _result_with_extras({"sync_frac": 0.0}).units[0]
+    verdict = judge_derived("sync_frac", zero, up, 0.05)
+    assert verdict.verdict == VERDICT_REGRESSION and math.isinf(verdict.delta)
+
+
+def test_compare_runs_includes_derived_verdicts():
+    baseline = [_result_with_extras({"sync_frac": 0.10})]
+    candidate = [_result_with_extras({"sync_frac": 0.30})]
+    report = compare_runs(candidate, baseline, tolerance=0.05,
+                          derived=("sync_frac",))
+    metrics = {v.metric for v in report.verdicts}
+    assert "sync_frac" in metrics and "throughput_tok_s" in metrics
+    assert not report.passed
+    # Without the flag the same pair passes (primary metric is unchanged).
+    assert compare_runs(candidate, baseline, tolerance=0.05).passed
+    # Untraced baseline: the derived gate is skipped entirely.
+    report = compare_runs(candidate, [_result_with_extras({})],
+                          tolerance=0.05, derived=("sync_frac",))
+    assert report.passed
+
+
+# --------------------------------------------------------------------------- diff
+def test_diff_analyses_reports_share_movement():
+    a = analyze_recorder(_hand_built_recorder())
+    moved = TraceRecorder(group="unit")
+    moved.span("trainer", "iteration", 0.0, 8.0)
+    moved.span("trainer", "training", 0.0, 4.0)  # training grew 2s
+    moved.span("sync", "weight_sync", 4.0, 5.0)
+    moved.span("rollout", "generation", 0.0, 8.0)
+    b = analyze_recorder(moved)
+    diff = diff_analyses(b, a)
+    delta = diff["groups"]["unit"]["phase_share_delta"]
+    assert delta["training"] == pytest.approx(0.25)
+    assert delta["generation"] == pytest.approx(-0.25)
+    text = render_diff(diff)
+    assert "training+25.0%" in text
+    # Self-diff: no movement.
+    assert "unchanged" in render_diff(diff_analyses(a, a))
+
+
+# --------------------------------------------------------------------------- CLI
+def test_cli_analyze_renders_and_writes_json(tmp_path, analysis_scenario, capsys):
+    trace_path = tmp_path / "t.json"
+    assert bench_main(["trace", analysis_scenario.id, "--unit", "0",
+                       "-o", str(trace_path), "--quiet"]) == 0
+    capsys.readouterr()
+    json_path = tmp_path / "analysis.json"
+    assert bench_main(["analyze", str(trace_path),
+                       "--json", str(json_path)]) == 0
+    out = capsys.readouterr().out
+    assert "critical path:" in out and "top span families" in out
+    payload = json.loads(json_path.read_text())
+    groups = payload["analysis"]["groups"]
+    label = f"{analysis_scenario.id}:verl:7B/16gpu"
+    shares = groups[label]["phase_shares"]
+    assert sum(shares.values()) == pytest.approx(1.0, abs=1e-9)
+
+    # Self-diff through the CLI: no drift.
+    assert bench_main(["analyze", str(trace_path),
+                       "--diff", str(trace_path)]) == 0
+    assert "unchanged" in capsys.readouterr().out
+
+
+def test_cli_analyze_error_paths(tmp_path, capsys):
+    assert bench_main(["analyze", str(tmp_path / "missing.json")]) == 2
+    assert "error:" in capsys.readouterr().err
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"not": "a trace"}))
+    assert bench_main(["analyze", str(bad)]) == 2
+    assert "traceEvents" in capsys.readouterr().err
+
+
+def test_cli_trace_rejects_missing_output_directory(analysis_scenario, capsys):
+    assert bench_main(["trace", analysis_scenario.id,
+                       "-o", "/nonexistent_dir_xyz/t.json"]) == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_render_analysis_mentions_derived_only_when_present():
+    text = render_analysis(analyze_recorder(_hand_built_recorder()))
+    assert "gen_bubble_frac" in text
+    no_gen = TraceRecorder(group="unit")
+    no_gen.span("trainer", "iteration", 0.0, 8.0)
+    no_gen.span("trainer", "training", 0.0, 8.0)
+    text = render_analysis(analyze_recorder(no_gen))
+    assert "gen_bubble_frac" not in text
