@@ -35,6 +35,7 @@ success / no regression and 1 otherwise.
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import glob
 import json
 import os
@@ -791,7 +792,27 @@ def cmd_trend(args: argparse.Namespace) -> int:
         max_revisions=args.max_revisions,
     )
     if args.scenario:
-        keep = {s.id for s in select_scenarios(args.scenario)}
+        # Artifacts outlive the scenario registry: a renamed or retired
+        # scenario still has committed history worth plotting.  Resolve each
+        # pattern against the registry *and* the ids present in the collected
+        # history; a pattern matching neither is noted and skipped rather
+        # than failing the whole trend.
+        history_ids = {r.scenario_id for s in snapshots for r in s.results}
+        keep = set()
+        for pattern in args.scenario:
+            try:
+                matched = {s.id for s in select_scenarios([pattern])}
+            except KeyError:
+                matched = set()
+            matched |= {
+                sid for sid in history_ids
+                if sid == pattern or fnmatch.fnmatch(sid, pattern) or pattern in sid
+            }
+            if not matched:
+                print(f"note: pattern {pattern!r} matches no registered or "
+                      f"historical scenario; skipping")
+                continue
+            keep |= matched
         for snapshot in snapshots:
             snapshot.results = [r for r in snapshot.results if r.scenario_id in keep]
         snapshots = [s for s in snapshots if s.results]

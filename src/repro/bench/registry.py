@@ -451,6 +451,21 @@ SCENARIOS: Tuple[ScenarioConfig, ...] = (
         tags=("fleet", "datacenter", "throughput"),
     ),
     ScenarioConfig(
+        id="datacenter_4k",
+        description="Full-fidelity datacenter fleet: 7B @ 8192 GPUs (3584-4096 "
+                    "rollout replicas per system) at full paper batch — the "
+                    "fused cross-replica stepping path carries every barrier.",
+        kind="throughput",
+        systems=("verl", "one_step", "stream_gen"),
+        model_size="7B",
+        gpu_scales=(8192,),
+        iterations=3,
+        warmup=1,
+        batch_scale=1.0,
+        timeout_s=1200.0,
+        tags=("fleet", "datacenter", "throughput"),
+    ),
+    ScenarioConfig(
         id="staleness_bound_7b",
         description="Staleness-bound sweep: one-step pipelined baseline with "
                     "k ∈ {1, 2, 4, 8}.",

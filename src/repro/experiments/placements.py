@@ -119,6 +119,9 @@ EXTRAPOLATED_PLACEMENTS: Dict[Tuple[str, str, int], Tuple[int, int]] = {
     ("verl", "7B", 4096): (4096, 0),        # 2048 rollout replicas at TP=2
     ("one_step", "7B", 4096): (512, 3584),  # 1792 rollout replicas at TP=2
     ("stream_gen", "7B", 4096): (512, 3584),
+    ("verl", "7B", 8192): (8192, 0),        # 4096 rollout replicas at TP=2
+    ("one_step", "7B", 8192): (1024, 7168),  # 3584 rollout replicas at TP=2
+    ("stream_gen", "7B", 8192): (1024, 7168),
 }
 
 #: GPU scales evaluated per model size (Fig 11).

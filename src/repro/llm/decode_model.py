@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..sim.cluster import GPUSpec, H800
 from .model_spec import ModelSpec
 
@@ -73,6 +75,33 @@ class DecodeModel:
         compute_time = flops / self.effective_flops
 
         return max(memory_time, compute_time) + self.step_overhead
+
+    def decode_step_time_many(
+        self, batch_sizes: np.ndarray, context_lengths: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`decode_step_time` over parallel arrays.
+
+        Bit-identical to the scalar method lane for lane: every float
+        operation is applied in the same order and association
+        (``(weight + batch*ctx*kv) / bw`` vs ``batch * flops(ctx) / flops``),
+        with the same ``max(1, int(ctx))`` clamp, so the fused cross-replica
+        stepper can price many replicas' decode batches in one call without
+        perturbing any committed baseline.  Lanes with ``batch_size == 0``
+        return 0.0 like the scalar method.
+        """
+        batch = np.asarray(batch_sizes, dtype=np.int64)
+        context = np.maximum(1, np.asarray(context_lengths, dtype=np.int64))
+        return decode_step_time_arrays(
+            batch,
+            context,
+            weight_bytes=self.model.weight_bytes,
+            kv_bytes_per_token=self.model.kv_bytes_per_token,
+            effective_bandwidth=self.effective_bandwidth,
+            effective_flops=self.effective_flops,
+            dense_flops=2.0 * self.model.num_parameters,
+            attn_coef=4.0 * self.model.num_layers * self.model.hidden_size,
+            step_overhead=self.step_overhead,
+        )
 
     def decode_throughput(self, batch_size: int, context_length: int) -> float:
         """Tokens generated per second at the given batch/context."""
@@ -141,3 +170,32 @@ class DecodeModel:
         must be re-prefetched through the prefill path.
         """
         return self.prefill_time(cached_tokens, batch_size=1)
+
+
+def decode_step_time_arrays(
+    batch: np.ndarray,
+    context: np.ndarray,
+    *,
+    weight_bytes,
+    kv_bytes_per_token,
+    effective_bandwidth,
+    effective_flops,
+    dense_flops,
+    attn_coef,
+    step_overhead,
+) -> np.ndarray:
+    """Elementwise roofline decode-step latency over parallel lanes.
+
+    The workhorse behind :meth:`DecodeModel.decode_step_time_many`.  Every
+    parameter may be a scalar or a per-lane array, so a fused cross-replica
+    sweep can mix replicas with different models/TP degrees in one call.
+    ``batch`` must be int64 and ``context`` already clamped to >= 1; each
+    float operation mirrors :meth:`DecodeModel.decode_step_time`'s expression
+    tree exactly (same association, same int->float conversion points).
+    """
+    kv_read = batch * context * kv_bytes_per_token
+    memory_time = (weight_bytes + kv_read) / effective_bandwidth
+    flops = batch * (dense_flops + attn_coef * context)
+    compute_time = flops / effective_flops
+    value = np.maximum(memory_time, compute_time) + step_overhead
+    return np.where(batch > 0, value, 0.0)

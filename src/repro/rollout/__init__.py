@@ -1,6 +1,7 @@
 """Rollout module: replica generation engine, environments, replica sizing."""
 
 from .generation import (
+    ReplicaBatchView,
     ReplicaGenerationState,
     ReplicaStats,
     SequenceState,
@@ -9,11 +10,13 @@ from .generation import (
     build_sequence_states,
 )
 from .environment import SimulatedEnvironment, TrajectoryFactory, difficulty_to_turns
-from .reference import ScalarReplicaGenerationState
+from .reference import ScalarReplicaBatchView, ScalarReplicaGenerationState
 from .replica_config import RolloutReplicaConfig
 
 __all__ = [
+    "ReplicaBatchView",
     "ReplicaGenerationState",
+    "ScalarReplicaBatchView",
     "ScalarReplicaGenerationState",
     "ReplicaStats",
     "SequenceState",

@@ -65,7 +65,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..llm.decode_model import DecodeModel
+from ..llm.decode_model import DecodeModel, decode_step_time_arrays
 from ..sim.kvcache import KVCache, KVCacheConfig, grow_array
 from ..types import Trajectory
 
@@ -1175,6 +1175,583 @@ class ReplicaGenerationState:
         # drain_completed may duplicate those returned by advance; dedupe by id.
         unique: Dict[int, Trajectory] = {t.traj_id: t for t in completed}
         return self.clock - start, list(unique.values())
+
+
+class ReplicaBatchView:
+    """Fused cross-replica stepping view over many replicas' decode state.
+
+    Barrier drains (and grouped fleet services) advance replicas that are
+    mutually independent: they interact only at the join.  This view stacks
+    every *fuse-eligible* replica's per-sequence decode state into one
+    cross-replica SoA — segment remainders, generated tokens, env timers and
+    KV token counts concatenated lane-major — and sweeps all lanes together
+    with per-horizon vectorized kernels: one masked ``next_event_in``
+    reduction over the stacked arrays, one clipped vector subtract for decode
+    across every lane due at the same horizon.  The per-sequence Python tail
+    (segment finishes, env transitions) is shared across lanes per sweep.
+
+    The contract is bit-identity with driving each
+    :class:`ReplicaGenerationState` one at a time: every float expression
+    mirrors :meth:`ReplicaGenerationState.advance` term for term and in the
+    same association, per-lane clock/carry/stats chains accumulate in the
+    same order, and FIFO orders (decode set, env set, KV row recycling, slot
+    recycling, completion order) are preserved exactly.
+
+    Lanes that fail the eligibility gates stay *resident*: their calls route
+    straight to the underlying engine, one replica at a time, so the grouped
+    kernel degrades to exactly the per-replica call sequence whenever
+    interleaving constraints bind.  A lane is fused only if
+
+    * it is a plain :class:`ReplicaGenerationState` with live sequences,
+    * its waiting queue is empty (no admissions or preemptions can fire),
+    * no straggler slowdown is active and trace sampling is off, and
+    * the KV pool provably fits every remaining token of every live sequence
+      (so mid-drain growth can never overflow or trigger preemption).
+
+    Between construction and :meth:`settle` the view owns its fused lanes'
+    state; the underlying engines must not be touched.  ``settle`` writes
+    everything back (arrays, membership vectors, KV ledger via telescoped
+    free/append plus :meth:`KVCache.note_peak`, stats, completions) and is
+    idempotent.
+    """
+
+    def __init__(self, replicas: Sequence[ReplicaGenerationState], fuse: bool = True) -> None:
+        self.replicas = list(replicas)
+        self._lane_k = np.full(len(self.replicas), -1, dtype=np.int64)
+        self._settled = False
+        self._round_done: Dict[int, List[Trajectory]] = {}
+        candidates: List[int] = []
+        if fuse:
+            for pos, replica in enumerate(self.replicas):
+                if (
+                    type(replica) is ReplicaGenerationState
+                    and replica.num_sequences > 0
+                    and not replica._queued
+                    and replica._decode_slowdown == 1.0
+                    and replica._env_slowdown == 1.0
+                    and replica.trace_samples is None
+                ):
+                    candidates.append(pos)
+        self._stack(candidates)
+
+    # ------------------------------------------------------------------ stacking
+    def _stack(self, positions: List[int]) -> None:
+        K = len(positions)
+        self._K = K
+        self._k_replica: List[ReplicaGenerationState] = [self.replicas[p] for p in positions]
+        self._lane_ok = np.zeros(K, dtype=bool)
+        if not K:
+            return
+        reps = self._k_replica
+        nd = np.array([r._dec.n for r in reps], dtype=np.int64)
+        ne = np.array([r._env.n for r in reps], dtype=np.int64)
+        counts = nd + ne
+        S = int(counts.sum())
+        srep = np.repeat(np.arange(K, dtype=np.int64), counts)
+        # Stacked per-sequence state: one gather per field over the
+        # concatenation of every lane's slot arrays (the concatenate walks
+        # lanes at C level; nothing here is per-replica Python).
+        slot_base = np.zeros(K, dtype=np.int64)
+        np.cumsum([len(r._a_seg_rem) for r in reps[:-1]], out=slot_base[1:])
+        lslot = np.concatenate(
+            [v for r in reps for v in (r._dec.slots_view(), r._env.slots_view())]
+        )
+        gslot = lslot + slot_base[srep]
+
+        def gather(name: str) -> np.ndarray:
+            return np.concatenate([getattr(r, name) for r in reps])[gslot]
+
+        self._rep = srep
+        self._slot = lslot.copy()
+        self._sid = np.concatenate(
+            [v for r in reps for v in (r._dec.ids_view(), r._env.ids_view())]
+        )
+        self._row = np.concatenate(
+            [v for r in reps for v in (r._dec.rows_view(), r._env.rows_view())]
+        )
+        self._seg = gather("_a_seg_rem")
+        self._gen = gather("_a_gen")
+        self._tgt = gather("_a_target")
+        self._prm = gather("_a_prompt")
+        self._dnt = gather("_a_done_turn")
+        self._trn = gather("_a_turn")
+        self._ntr = gather("_a_nturns")
+        self._soff = gather("_a_sched_off")
+        self._envt = gather("_a_env")
+        self._lvr = gather("_a_last_ver")
+        row_base = np.zeros(K, dtype=np.int64)
+        np.cumsum([len(r.kvcache._tokens) for r in reps[:-1]], out=row_base[1:])
+        self._kvt = np.concatenate([r.kvcache._tokens for r in reps])[
+            self._row + row_base[srep]
+        ]
+        self._kvt0 = self._kvt.copy()
+        # Membership: [decode set, env set] per lane, lane-major, preserving
+        # each engine's FIFO order.
+        base = np.zeros(K, dtype=np.int64)
+        np.cumsum(counts[:-1], out=base[1:])
+        is_dec = (np.arange(S, dtype=np.int64) - base[srep]) < nd[srep]
+        self._dec_i = np.flatnonzero(is_dec)
+        self._env_i = np.flatnonzero(~is_dec)
+        # Per-lane scalars (float chains continue from the engines' values
+        # and are assigned back verbatim at settle).
+        self._clock = np.array([r.clock for r in reps], dtype=np.float64)
+        self._carry = np.array([r._time_carry for r in reps], dtype=np.float64)
+        self._busy = np.array([r.stats.decode_busy_time for r in reps], dtype=np.float64)
+        self._idle = np.array([r.stats.idle_time for r in reps], dtype=np.float64)
+        self._envb = np.array([r.stats.env_blocked_time for r in reps], dtype=np.float64)
+        self._tokgen = np.array([r.stats.tokens_generated for r in reps], dtype=np.int64)
+        self._ncomp = np.array(
+            [r.stats.trajectories_completed for r in reps], dtype=np.int64
+        )
+        self._wv = np.array([r.weight_version for r in reps], dtype=np.int64)
+        self._live = counts.copy()
+        self._target = self._clock.copy()
+        self._kv_used = np.array([r.kvcache.used_blocks for r in reps], dtype=np.int64)
+        self._kv_peak = np.array([r.kvcache.peak_blocks for r in reps], dtype=np.int64)
+        self._c_bs = np.array(
+            [r.kvcache.config.block_size for r in reps], dtype=np.int64
+        )
+        self._bs_l = self._c_bs.tolist()
+        total_blocks = np.array(
+            [r.kvcache.config.total_blocks for r in reps], dtype=np.int64
+        )
+        # Roofline constants per lane (lanes may mix models / TP degrees).
+        consts: Dict[int, Tuple[float, ...]] = {}
+        rows = []
+        for r in reps:
+            dm = r.decode_model
+            tup = consts.get(id(dm))
+            if tup is None:
+                m = dm.model
+                tup = (
+                    m.weight_bytes,
+                    m.kv_bytes_per_token,
+                    dm.effective_bandwidth,
+                    dm.effective_flops,
+                    2.0 * m.num_parameters,
+                    4.0 * m.num_layers * m.hidden_size,
+                    dm.step_overhead,
+                )
+                consts[id(dm)] = tup
+            rows.append(tup)
+        (self._c_wb, self._c_kvb, self._c_bw, self._c_fl,
+         self._c_dense, self._c_attn, self._c_ovh) = (
+            np.array(col, dtype=np.float64) for col in zip(*rows)
+        )
+        # Per-lane settle bookkeeping.
+        self._admit_cleared = np.zeros(K, dtype=bool)
+        self._freed_ids: List[List[int]] = [[] for _ in range(K)]
+        self._freed_slots: List[List[int]] = [[] for _ in range(K)]
+        self._done_traj: List[List[Trajectory]] = [[] for _ in range(K)]
+        self._sched_seg_ref = [r._sched_seg for r in reps]
+        self._sched_env_ref = [r._sched_env for r in reps]
+        # KV-fit gate: a lane is fused only if the pool holds every live
+        # sequence at its *final* size.  Usage during the drain is bounded by
+        # sum(blocks(kv_now + remaining)) because each sequence's growth per
+        # window is min(tokens, its own segment) <= its remaining tokens; the
+        # exact growth scan then never preempts and appends never overflow.
+        sched_base = np.zeros(K, dtype=np.int64)
+        np.cumsum([r._sched_len for r in reps[:-1]], out=sched_base[1:])
+        seg_pool = np.concatenate([r._sched_seg[: r._sched_len] for r in reps])
+        csum = np.concatenate(([0], np.cumsum(seg_pool)))
+        goff = self._soff + sched_base[srep]
+        future = csum[goff + self._ntr] - csum[goff + self._trn + 1]
+        final_blocks = -(-(self._kvt + self._seg + future) // self._c_bs[srep])
+        need = np.bincount(srep, weights=final_blocks.astype(np.float64), minlength=K)
+        fit = need <= total_blocks
+        self._lane_ok = fit
+        if not fit.all():
+            keep = fit[srep]
+            self._dec_i = self._dec_i[keep[self._dec_i]]
+            self._env_i = self._env_i[keep[self._env_i]]
+        for k, pos in enumerate(positions):
+            if fit[k]:
+                self._lane_k[pos] = k
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def num_fused(self) -> int:
+        return int((self._lane_k >= 0).sum())
+
+    @property
+    def all_fused(self) -> bool:
+        """True if every lane is serviced by the grouped kernel."""
+        return bool((self._lane_k >= 0).all())
+
+    def lane_is_fused(self, pos: int) -> bool:
+        return bool(self._lane_k[pos] >= 0)
+
+    def lane_live(self, pos: int) -> int:
+        """Live sequences on the lane (stacked counter or engine state)."""
+        k = int(self._lane_k[pos])
+        if k < 0:
+            return self.replicas[pos].num_sequences
+        return int(self._live[k])
+
+    def lane_clock(self, pos: int) -> float:
+        k = int(self._lane_k[pos])
+        if k < 0:
+            return self.replicas[pos].clock
+        return float(self._clock[k])
+
+    # ------------------------------------------------------------------ kernels
+    def _release_env(self, sel: np.ndarray) -> None:
+        """Mirror of ``_release_env_returns`` across the selected lanes."""
+        ei = self._env_i
+        if not len(ei):
+            return
+        erep = self._rep[ei]
+        due = sel[erep] & (self._envt[ei] <= self._clock[erep] + _EPS)
+        if not due.any():
+            return
+        released = ei[due]
+        self._envt[released] = math.inf
+        merged = np.concatenate((self._dec_i, released))
+        self._dec_i = merged[np.argsort(self._rep[merged], kind="stable")]
+        self._env_i = ei[~due]
+
+    def _dec_reductions(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        K = self._K
+        di = self._dec_i
+        dcounts = np.bincount(self._rep[di], minlength=K)
+        minseg = np.zeros(K, dtype=np.int64)
+        ctxsum = np.zeros(K, dtype=np.int64)
+        nz = np.flatnonzero(dcounts)
+        if len(nz):
+            starts = np.concatenate(([0], np.cumsum(dcounts)[:-1]))
+            minseg[nz] = np.minimum.reduceat(self._seg[di], starts[nz])
+            ctxsum[nz] = np.add.reduceat(self._prm[di] + self._gen[di], starts[nz])
+        return dcounts, minseg, ctxsum
+
+    def _env_reductions(self) -> Tuple[np.ndarray, np.ndarray]:
+        K = self._K
+        ei = self._env_i
+        ecounts = np.bincount(self._rep[ei], minlength=K)
+        emin = np.full(K, math.inf, dtype=np.float64)
+        nz = np.flatnonzero(ecounts)
+        if len(nz):
+            starts = np.concatenate(([0], np.cumsum(ecounts)[:-1]))
+            emin[nz] = np.minimum.reduceat(self._envt[ei], starts[nz])
+        return ecounts, emin
+
+    def _step_times(self, dcounts: np.ndarray, ctxsum: np.ndarray,
+                    lanes: np.ndarray) -> np.ndarray:
+        """Per-lane decode-step latency for ``lanes`` (all with dcounts > 0)."""
+        mean_ctx = (ctxsum[lanes] / dcounts[lanes]).astype(np.int64)
+        return decode_step_time_arrays(
+            dcounts[lanes],
+            np.maximum(1, mean_ctx),
+            weight_bytes=self._c_wb[lanes],
+            kv_bytes_per_token=self._c_kvb[lanes],
+            effective_bandwidth=self._c_bw[lanes],
+            effective_flops=self._c_fl[lanes],
+            dense_flops=self._c_dense[lanes],
+            attn_coef=self._c_attn[lanes],
+            step_overhead=self._c_ovh[lanes],
+        )
+
+    # ------------------------------------------------------------------ API
+    def next_event_in_many(self, positions: Sequence[int]) -> List[Optional[float]]:
+        """Per-lane :meth:`ReplicaGenerationState.next_event_in`, one reduction."""
+        out: List[Optional[float]] = [None] * len(positions)
+        if not positions:
+            return out
+        ks = self._lane_k[np.asarray(positions, dtype=np.int64)]
+        ks_l = ks.tolist()
+        fused = [i for i, k in enumerate(ks_l) if k >= 0]
+        for i, k in enumerate(ks_l):
+            if k < 0:
+                out[i] = self.replicas[positions[i]].next_event_in()
+        if not fused:
+            return out
+        sel = np.zeros(self._K, dtype=bool)
+        sel[ks[ks >= 0]] = True
+        self._release_env(sel)
+        dcounts, minseg, ctxsum = self._dec_reductions()
+        ecounts, emin = self._env_reductions()
+        delta = np.full(self._K, math.inf, dtype=np.float64)
+        dl = np.flatnonzero(sel & (dcounts > 0))
+        if len(dl):
+            step = self._step_times(dcounts, ctxsum, dl)
+            delta[dl] = np.maximum(_EPS, minseg[dl] * step - self._carry[dl])
+        el = sel & (ecounts > 0)
+        if el.any():
+            env_delta = np.maximum(_EPS, emin[el] - self._clock[el])
+            delta[el] = np.minimum(delta[el], env_delta)
+        for i in fused:
+            out[i] = float(delta[ks_l[i]])
+        return out
+
+    def advance_many(self, positions: Sequence[int],
+                     dts: Sequence[float]) -> List[List[Trajectory]]:
+        """Grouped :meth:`ReplicaGenerationState.advance` across lanes.
+
+        Fused lanes enter the sweep loop together and each exits when its own
+        clock reaches its own target; fallback lanes are advanced through the
+        engine directly.  Returns the trajectories completed per position.
+        """
+        out: List[List[Trajectory]] = [[] for _ in positions]
+        if not positions:
+            return out
+        ks = self._lane_k[np.asarray(positions, dtype=np.int64)]
+        ks_l = ks.tolist()
+        fused = [i for i, k in enumerate(ks_l) if k >= 0]
+        for i, k in enumerate(ks_l):
+            if k < 0:
+                out[i] = self.replicas[positions[i]].advance(dts[i])
+        if not fused:
+            return out
+        karr = ks[ks >= 0]
+        dtv = np.array([dts[i] for i in fused], dtype=np.float64)
+        if (dtv < 0).any():
+            raise ValueError("dt must be non-negative")
+        self._target[karr] = self._clock[karr] + dtv
+        self._round_done = {int(k): [] for k in karr.tolist()}
+        entered = np.zeros(self._K, dtype=bool)
+        entered[karr] = True
+        # Mirror the engine's loop guard: one zero-width pass is forced for
+        # any positive window even when it is below the epsilon guard.
+        forced = np.zeros(self._K, dtype=bool)
+        forced[karr[dtv > 0.0]] = True
+        active = entered & (forced | (self._clock < self._target - _EPS))
+        while active.any():
+            self._sweep(active)
+            active = entered & (self._clock < self._target - _EPS)
+        for i in fused:
+            done = self._round_done[ks_l[i]]
+            out[i] = done
+            self._done_traj[ks_l[i]].extend(done)
+        self._round_done = {}
+        return out
+
+    def _sweep(self, sel: np.ndarray) -> None:
+        """One advance-loop iteration for every selected lane."""
+        self._release_env(sel)
+        dcounts, minseg, ctxsum = self._dec_reductions()
+        ecounts, emin = self._env_reductions()
+        nodec = sel & (dcounts == 0)
+        if nodec.any():
+            # Nothing to decode: jump to the next env return (or the target).
+            has_env = nodec & (ecounts > 0)
+            if has_env.any():
+                next_clock = np.minimum(
+                    self._target[has_env],
+                    np.maximum(emin[has_env], self._clock[has_env]),
+                )
+                self._envb[has_env] += next_clock - self._clock[has_env]
+                self._clock[has_env] = next_clock
+            no_env = nodec & (ecounts == 0)
+            if no_env.any():
+                self._idle[no_env] += self._target[no_env] - self._clock[no_env]
+                self._clock[no_env] = self._target[no_env]
+        dl = np.flatnonzero(sel & (dcounts > 0))
+        if not len(dl):
+            return
+        step = self._step_times(dcounts, ctxsum, dl)
+        carry = self._carry[dl]
+        time_to_segment = minseg[dl] * step - carry
+        time_to_env = np.where(
+            ecounts[dl] > 0, emin[dl] - self._clock[dl], math.inf
+        )
+        window = np.minimum(
+            np.minimum(time_to_segment, time_to_env),
+            self._target[dl] - self._clock[dl],
+        )
+        window = np.maximum(window, 0.0)
+        tokens = np.floor((window + carry) / step + 1e-9).astype(np.int64)
+        tokens = np.minimum(tokens, minseg[dl])
+        self._carry[dl] = (window + carry) - tokens * step
+        decoding = tokens > 0
+        if decoding.any():
+            tokens_k = np.zeros(self._K, dtype=np.int64)
+            tokens_k[dl] = tokens
+            self._apply_decode_fused(dl[decoding], tokens_k)
+        self._busy[dl] += window
+        self._clock[dl] += window
+        degenerate = (window <= _EPS) & (tokens == 0)
+        if degenerate.any():
+            dg = dl[degenerate]
+            new_clock = np.minimum(self._target[dg], self._clock[dg] + _EPS)
+            self._busy[dg] += new_clock - self._clock[dg]
+            self._clock[dg] = new_clock
+
+    def _apply_decode_fused(self, lanes: np.ndarray, tokens_k: np.ndarray) -> None:
+        """Mirror of ``_apply_decode`` across lanes (one clipped subtract)."""
+        lane_mask = np.zeros(self._K, dtype=bool)
+        lane_mask[lanes] = True
+        di = self._dec_i
+        dsel = lane_mask[self._rep[di]]
+        idx = di[dsel]
+        rep_e = self._rep[idx]
+        seg = self._seg[idx]
+        step_tokens = np.minimum(tokens_k[rep_e], seg)
+        new_gen = np.minimum(self._tgt[idx], self._gen[idx] + step_tokens)
+        self._gen[idx] = new_gen
+        self._dnt[idx] += step_tokens
+        new_seg = seg - step_tokens
+        self._seg[idx] = new_seg
+        wv_e = self._wv[rep_e]
+        stale = self._lvr[idx] != wv_e
+        if stale.any():
+            sidx = idx[stale]
+            for k, sid in zip(rep_e[stale].tolist(), self._sid[sidx].tolist()):
+                version = int(self._wv[k])
+                trajectory = self._k_replica[k]._sequences[sid].trajectory
+                if version not in trajectory.versions_used:
+                    trajectory.versions_used.append(version)
+            self._lvr[sidx] = wv_e[stale]
+        block_size = self._c_bs[rep_e]
+        old_blocks = -(-self._kvt[idx] // block_size)
+        new_kvt = self._kvt[idx] + step_tokens
+        self._kvt[idx] = new_kvt
+        growth = (-(-new_kvt // block_size)) - old_blocks
+        self._kv_used += np.bincount(
+            rep_e, weights=growth.astype(np.float64), minlength=self._K
+        ).astype(np.int64)
+        np.maximum(self._kv_peak, self._kv_used, out=self._kv_peak)
+        self._tokgen += np.bincount(
+            rep_e, weights=step_tokens.astype(np.float64), minlength=self._K
+        ).astype(np.int64)
+        finished = new_seg == 0
+        if finished.any():
+            dec_pos = np.flatnonzero(dsel)
+            self._finish_fused(idx[finished], dec_pos[finished], new_gen[finished])
+
+    def _finish_fused(self, fidx: np.ndarray, fpos: np.ndarray,
+                      fgen: np.ndarray) -> None:
+        """Shared control tail for sequences whose segment just ended.
+
+        Completion side effects (KV free order, completed order, env-set
+        appends) land in ascending stacked position, matching the engine's
+        batched finish path lane for lane.
+        """
+        idx_l = fidx.tolist()
+        rep_l = self._rep[fidx].tolist()
+        trn_l = self._trn[fidx].tolist()
+        ntr_l = self._ntr[fidx].tolist()
+        soff_l = self._soff[fidx].tolist()
+        sid_l = self._sid[fidx].tolist()
+        slot_l = self._slot[fidx].tolist()
+        kvt_l = self._kvt[fidx].tolist()
+        dnt_l = self._dnt[fidx].tolist()
+        tgt_l = self._tgt[fidx].tolist()
+        gen_l = fgen.tolist()
+        pos_l = fpos.tolist()
+        remove_pos: List[int] = []
+        env_add: List[int] = []
+        for i in range(len(idx_l)):
+            k = rep_l[i]
+            turn = trn_l[i]
+            if turn + 1 == ntr_l[i]:
+                replica = self._k_replica[k]
+                self._kv_used[k] -= -(-kvt_l[i] // self._bs_l[k])
+                self._freed_ids[k].append(sid_l[i])
+                self._freed_slots[k].append(slot_l[i])
+                self._admit_cleared[k] = True
+                seq = replica._sequences[sid_l[i]]
+                seq.tokens_done_in_turn = dnt_l[i]
+                seq.turn_index = turn
+                seq.env_return_time = math.inf
+                seq.needs_reprefill = False
+                seq.status = SequenceStatus.DONE
+                trajectory = seq.trajectory
+                trajectory.generated_tokens = min(tgt_l[i], gen_l[i])
+                trajectory.turns_done = ntr_l[i]
+                trajectory.finish_time = float(self._clock[k])
+                trajectory.replica_id = replica.replica_id
+                self._round_done[k].append(trajectory)
+                self._ncomp[k] += 1
+                self._live[k] -= 1
+                remove_pos.append(pos_l[i])
+            else:
+                offset = soff_l[i]
+                self._trn[idx_l[i]] = turn + 1
+                self._dnt[idx_l[i]] = 0
+                self._seg[idx_l[i]] = self._sched_seg_ref[k].item(offset + turn + 1)
+                env_latency = self._sched_env_ref[k].item(offset + turn)
+                if env_latency > 0:
+                    self._envt[idx_l[i]] = self._clock[k] + env_latency
+                    remove_pos.append(pos_l[i])
+                    env_add.append(idx_l[i])
+        if remove_pos:
+            keep = np.ones(len(self._dec_i), dtype=bool)
+            keep[remove_pos] = False
+            self._dec_i = self._dec_i[keep]
+        if env_add:
+            merged = np.concatenate(
+                (self._env_i, np.array(env_add, dtype=np.int64))
+            )
+            self._env_i = merged[np.argsort(self._rep[merged], kind="stable")]
+
+    # ------------------------------------------------------------------ settle
+    def settle(self) -> None:
+        """Write the stacked state back into every fused engine.
+
+        KV settlement telescopes: finished sequences are freed first (their
+        appends were never applied to the ledger, so the free lands at the
+        admission-time size), live growth is applied in one batched append,
+        and the chronological block high-water mark tracked during the sweep
+        is re-applied via :meth:`KVCache.note_peak`.
+        """
+        if self._settled or not self._K:
+            self._settled = True
+            return
+        self._settled = True
+        K = self._K
+        di, ei = self._dec_i, self._env_i
+        dcounts = np.bincount(self._rep[di], minlength=K)
+        ecounts = np.bincount(self._rep[ei], minlength=K)
+        dstarts = np.concatenate(([0], np.cumsum(dcounts)[:-1]))
+        estarts = np.concatenate(([0], np.cumsum(ecounts)[:-1]))
+        for k in np.flatnonzero(self._lane_ok).tolist():
+            replica = self._k_replica[k]
+            replica.clock = float(self._clock[k])
+            replica._time_carry = float(self._carry[k])
+            stats = replica.stats
+            stats.decode_busy_time = float(self._busy[k])
+            stats.idle_time = float(self._idle[k])
+            stats.env_blocked_time = float(self._envb[k])
+            stats.tokens_generated = int(self._tokgen[k])
+            stats.trajectories_completed = int(self._ncomp[k])
+            if self._admit_cleared[k]:
+                replica._admit_blocked = False
+            freed = self._freed_ids[k]
+            if freed:
+                replica.kvcache.free_many(freed)
+                for sid, slot in zip(freed, self._freed_slots[k]):
+                    del replica._sequences[sid]
+                    del replica._slots[sid]
+                    replica._free_slots.append(slot)
+            nd, ne = int(dcounts[k]), int(ecounts[k])
+            dk = di[dstarts[k]:dstarts[k] + nd]
+            ek = ei[estarts[k]:estarts[k] + ne]
+            if nd or ne:
+                live = np.concatenate((dk, ek))
+                slots = self._slot[live]
+                gen = self._gen[live]
+                replica._a_seg_rem[slots] = self._seg[live]
+                replica._a_gen[slots] = gen
+                replica._a_ctx[slots] = self._prm[live] + gen
+                replica._a_done_turn[slots] = self._dnt[live]
+                replica._a_turn[slots] = self._trn[live]
+                replica._a_env[slots] = self._envt[live]
+                replica._a_last_ver[slots] = self._lvr[live]
+                replica._a_status[slots[:nd]] = _ST_DECODING
+                replica._a_status[slots[nd:]] = _ST_ENV_WAIT
+                replica._dec.n = 0
+                replica._dec.extend(self._sid[dk], slots[:nd], self._row[dk])
+                replica._env.n = 0
+                replica._env.extend(self._sid[ek], slots[nd:], self._row[ek])
+                replica.kvcache.append_tokens_many(
+                    self._sid[live], self._kvt[live] - self._kvt0[live],
+                    rows=self._row[live],
+                )
+            else:
+                replica._dec.n = 0
+                replica._env.n = 0
+            replica.kvcache.note_peak(int(self._kv_peak[k]))
+            replica._completed.extend(self._done_traj[k])
+            replica._mutation += 1
 
 
 def build_sequence_states(

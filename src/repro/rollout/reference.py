@@ -31,7 +31,7 @@ from .generation import (
     TurnSchedule,
 )
 
-__all__ = ["ScalarReplicaGenerationState"]
+__all__ = ["ScalarReplicaBatchView", "ScalarReplicaGenerationState"]
 
 
 class ScalarReplicaGenerationState:
@@ -407,3 +407,50 @@ class ScalarReplicaGenerationState:
         completed.extend(self.drain_completed())
         unique: Dict[int, Trajectory] = {t.traj_id: t for t in completed}
         return self.clock - start, list(unique.values())
+
+
+class ScalarReplicaBatchView:
+    """Scalar oracle for :class:`repro.rollout.generation.ReplicaBatchView`.
+
+    Grouped stepping is defined as a pure performance transform: servicing a
+    set of mutually independent replicas together must be observationally
+    identical to servicing them one at a time in lane order.  This mirror
+    *is* that definition — every batch call routes to the underlying engine,
+    replica by replica — so the equivalence fuzzer can drive the fused SoA
+    view and this one through identical call sequences and assert bit-equal
+    outcomes on both engine families.
+    """
+
+    def __init__(self, replicas: Sequence[ScalarReplicaGenerationState],
+                 fuse: bool = True) -> None:
+        del fuse  # the oracle has no fused path to toggle
+        self.replicas = list(replicas)
+
+    @property
+    def num_fused(self) -> int:
+        return 0
+
+    @property
+    def all_fused(self) -> bool:
+        return False
+
+    def lane_is_fused(self, pos: int) -> bool:
+        return False
+
+    def lane_live(self, pos: int) -> int:
+        return self.replicas[pos].num_sequences
+
+    def lane_clock(self, pos: int) -> float:
+        return self.replicas[pos].clock
+
+    def next_event_in_many(self, positions: Sequence[int]) -> List[Optional[float]]:
+        return [self.replicas[pos].next_event_in() for pos in positions]
+
+    def advance_many(self, positions: Sequence[int],
+                     dts: Sequence[float]) -> List[List[Trajectory]]:
+        return [
+            self.replicas[pos].advance(dt) for pos, dt in zip(positions, dts)
+        ]
+
+    def settle(self) -> None:
+        """No-op: the oracle never detaches state from its engines."""

@@ -49,7 +49,7 @@ from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..rollout.generation import ReplicaGenerationState
+from ..rollout.generation import ReplicaBatchView, ReplicaGenerationState
 from ..sim.engine import Environment, Interrupt, Process
 from ..types import Trajectory
 
@@ -193,6 +193,32 @@ class FleetState:
         self.wake[index] = math.inf
         return index
 
+    def pop_due_batch(self, now: float) -> List[int]:
+        """Pop and disarm every member due at the earliest wake time ``<= now``.
+
+        Returns dense indices in ``(wake time, order stamp)`` order — engine
+        FIFO for members whose wakes tie at the *exact* same float instant —
+        or an empty list when nothing is due.  Only exact ties are grouped:
+        a member due one ulp later stays armed, because the engine heap would
+        have interleaved arbitrary other events between the two wake-ups.
+        Superseded and disarmed heap entries are skipped lazily, exactly as
+        :meth:`pop_due` skips them.
+        """
+        entry = self._peek()
+        if entry is None or entry[0] > now:
+            return []
+        at = entry[0]
+        due: List[int] = []
+        while True:
+            entry = self._peek()
+            if entry is None or entry[0] != at:
+                break
+            heapq.heappop(self._heap)
+            index = entry[2]
+            self.wake[index] = math.inf
+            due.append(index)
+        return due
+
 
 # -- batch-synchronous fleet barrier ----------------------------------------
 
@@ -219,6 +245,16 @@ def fleet_generation_barrier(
     only the externally observable events: streamed-completion publishers at
     their exact instants and a single ``timeout_until`` at the barrier join
     time ``max_r(final_r)``.
+
+    Barrier drains are mutually independent by construction (replicas
+    interact only at the join), so the whole fleet is drained *together*
+    through one :class:`~repro.rollout.generation.ReplicaBatchView`: each
+    round asks every still-live lane for its next event with one stacked
+    reduction and advances all of them with one grouped kernel sweep, while
+    each lane's float chain (``t = t + delta`` / ``fl(origin + clock)``)
+    stays per-lane and bit-identical.  Tracing forces the wholly per-replica
+    path (the view refuses to fuse armed lanes), as do lanes with waiting
+    queues, active slowdowns, or KV pools the drain could overflow.
     """
     from .harness import GenerationOutcome, _flush_decode_samples
 
@@ -229,68 +265,80 @@ def fleet_generation_barrier(
             replica.enable_trace_sampling()
 
     # (call_time, replica_pos, seq_no, at, batch): one row per publication,
-    # ordered like the per-replica publishers would have been created.
+    # keyed like the per-replica publishers would have been created.
     publications: List[Tuple[float, int, int, float, List[Trajectory]]] = []
+    num = len(replicas)
+    starts = [replica.clock for replica in replicas]
+    completed_l: List[List[Trajectory]] = [[] for _ in range(num)]
+    anchored = origin is not None
+    if anchored:
+        seen_l: List[Dict[int, Trajectory]] = [{} for _ in range(num)]
+        seq_no_l = [0] * num
+        call_time_l = [barrier_start] * num
+    else:
+        t_chain = [barrier_start] * num
+
+    def publish(pos: int, done: List[Trajectory],
+                call_time: float) -> List[Trajectory]:
+        seen = seen_l[pos]
+        fresh = [t for t in done if t.traj_id not in seen]
+        for traj in fresh:
+            seen[traj.traj_id] = traj
+        if fresh and on_complete is not None:
+            groups: List[Tuple[float, List[Trajectory]]] = []
+            for traj in fresh:
+                if groups and groups[-1][0] == traj.finish_time:
+                    groups[-1][1].append(traj)
+                else:
+                    groups.append((traj.finish_time, [traj]))
+            for finish, batch in groups:
+                publications.append(
+                    (call_time, pos, seq_no_l[pos], origin + finish, batch)
+                )
+                seq_no_l[pos] += 1
+        return fresh
+
+    view = ReplicaBatchView(replicas, fuse=not tracer.enabled)
+    active = [pos for pos in range(num) if view.lane_live(pos)]
+    while active:
+        deltas = view.next_event_in_many(active)
+        round_pos: List[int] = []
+        dts: List[float] = []
+        for pos, delta in zip(active, deltas):
+            if delta is None:
+                continue  # stuck lane (inadmissible queue): stop draining it
+            round_pos.append(pos)
+            dts.append(delta)
+        done_lists = view.advance_many(round_pos, dts)
+        if anchored:
+            for pos, done in zip(round_pos, done_lists):
+                completed_l[pos].extend(publish(pos, done, call_time_l[pos]))
+                call_time_l[pos] = origin + view.lane_clock(pos)
+        else:
+            for pos, done, dt in zip(round_pos, done_lists, dts):
+                t_chain[pos] = t_chain[pos] + dt
+                completed_l[pos].extend(done)
+        active = [pos for pos in round_pos if view.lane_live(pos)]
+    view.settle()
+
     per_replica_time: List[float] = []
     trajectories: List[Trajectory] = []
-    starts: List[float] = []
     finals: List[float] = []
     counts: List[int] = []
     tokens = 0
-
     for pos, replica in enumerate(replicas):
-        start = replica.clock
-        starts.append(start)
-        completed: List[Trajectory] = []
-        if origin is None:
-            # Plain drain: wake-ups chain as fl(t + delta), matching
-            # Environment.timeout's ``now + delay`` addition step for step.
-            t = barrier_start
-            while replica.num_sequences:
-                delta = replica.next_event_in()
-                if delta is None:
-                    break
-                t = t + delta
-                completed.extend(replica.advance(delta))
+        completed = completed_l[pos]
+        if anchored:
+            completed.extend(
+                publish(pos, replica.drain_completed(), call_time_l[pos])
+            )
+            final = origin + replica.clock
+        else:
             completed.extend(replica.drain_completed())
             unique: Dict[int, Trajectory] = {traj.traj_id: traj for traj in completed}
             completed = list(unique.values())
-            final = t
-        else:
-            # Anchored drain: wake-ups land at fl(origin + clock) exactly.
-            seen: Dict[int, Trajectory] = {}
-            call_time = barrier_start
-            seq_no = 0
-
-            def publish(done: List[Trajectory]) -> List[Trajectory]:
-                nonlocal seq_no
-                fresh = [t for t in done if t.traj_id not in seen]
-                for traj in fresh:
-                    seen[traj.traj_id] = traj
-                if fresh and on_complete is not None:
-                    groups: List[Tuple[float, List[Trajectory]]] = []
-                    for traj in fresh:
-                        if groups and groups[-1][0] == traj.finish_time:
-                            groups[-1][1].append(traj)
-                        else:
-                            groups.append((traj.finish_time, [traj]))
-                    for finish, batch in groups:
-                        publications.append(
-                            (call_time, pos, seq_no, origin + finish, batch)
-                        )
-                        seq_no += 1
-                return fresh
-
-            while replica.num_sequences:
-                delta = replica.next_event_in()
-                if delta is None:
-                    break
-                done = replica.advance(delta)
-                completed.extend(publish(done))
-                call_time = origin + replica.clock
-            completed.extend(publish(replica.drain_completed()))
-            final = origin + replica.clock
-        per_replica_time.append(replica.clock - start)
+            final = t_chain[pos]
+        per_replica_time.append(replica.clock - starts[pos])
         trajectories.extend(completed)
         counts.append(len(completed))
         tokens += replica.stats.tokens_generated
@@ -431,9 +479,12 @@ class FleetStepper:
             self._poked = False
             while self._service_queue:
                 self._service(self._service_queue.pop(0))
-            index = state.pop_due(env.now)
-            if index is not None:
-                self._service(state.id_at(index))
+            due = state.pop_due_batch(env.now)
+            if due:
+                if len(due) > 1:
+                    self._service_group([state.id_at(i) for i in due])
+                else:
+                    self._service(state.id_at(due[0]))
                 continue
             if self._service_queue:
                 continue
@@ -449,6 +500,64 @@ class FleetStepper:
                     yield env.timeout_until(wake)
                 except Interrupt:
                     continue
+
+    def _service_group(self, replica_ids: List[int]) -> None:
+        """Service several members due at the same exact wake instant.
+
+        All members were popped from the heap in ``(at, stamp)`` order — the
+        order :meth:`FleetState.pop_due` would have yielded them one at a
+        time.  When every member is fusable the elapsed-time consumption
+        (``advance(now - clock)``) runs through one grouped
+        :class:`~repro.rollout.generation.ReplicaBatchView` sweep; the
+        per-member driver-loop continuation (``on_advance`` delivery, refill,
+        park, re-arm) then replays in FIFO member order with the service
+        queue drained between members, exactly as the per-replica servicing
+        would have interleaved it.  Whenever interleaving constraints bind —
+        tracing armed, pending interrupts, a retired or caught-up member, or
+        any lane the view refuses to fuse (waiting queue, slowdown, KV pool
+        the sweep could overflow) — the whole group falls back to sequential
+        per-member servicing.
+        """
+        env = self.env
+        fleet = self.fleet
+
+        def sequential() -> None:
+            for replica_id in replica_ids:
+                self._service(replica_id)
+                while self._service_queue:
+                    self._service(self._service_queue.pop(0))
+
+        if env.tracer.enabled or self._service_queue:
+            sequential()
+            return
+        replicas = []
+        for replica_id in replica_ids:
+            if self._rstate.get(replica_id, _RETIRED) != _RUNNING:
+                sequential()
+                return
+            replica = fleet.replica(replica_id)
+            if replica is None or env.now - replica.clock <= _EPS:
+                sequential()
+                return
+            replicas.append(replica)
+        view = ReplicaBatchView(replicas, fuse=True)
+        if not view.all_fused:
+            view.settle()
+            sequential()
+            return
+        dts = [env.now - replica.clock for replica in replicas]
+        done_lists = view.advance_many(list(range(len(replicas))), dts)
+        view.settle()
+        for replica_id, replica, done in zip(replica_ids, replicas, done_lists):
+            self._servicing = replica_id
+            try:
+                fleet.on_advance(replica, done)
+            finally:
+                self._servicing = None
+            if self._rstate.get(replica_id, _RETIRED) == _RUNNING:
+                self._service(replica_id)
+            while self._service_queue:
+                self._service(self._service_queue.pop(0))
 
     def _service(self, replica_id: int) -> None:
         """Run one driver-loop pass for ``replica_id`` until it sleeps."""

@@ -254,6 +254,18 @@ class KVCache:
         self._used_blocks -= freed
         return freed
 
+    def note_peak(self, peak_blocks: int) -> None:
+        """Raise the high-water mark to ``peak_blocks`` if it exceeds it.
+
+        Used by the fused cross-replica stepper, which tracks a replica's
+        chronological block usage outside the ledger during a drain and
+        settles the ledger afterwards with telescoped appends/frees — the
+        transient peaks the scalar call sequence would have recorded are
+        re-applied here.
+        """
+        if peak_blocks > self.peak_blocks:
+            self.peak_blocks = peak_blocks
+
     def evict_all(self) -> None:
         """Drop every allocation (used when a replica is repacked away or fails)."""
         self._row_of.clear()

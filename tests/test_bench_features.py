@@ -188,6 +188,53 @@ def test_cli_trend_scenario_without_history_reports_cleanly(
     assert "no history" in out and "datacenter_1k" in out
 
 
+def test_cli_trend_tolerates_retired_scenarios(tmp_path, capsys, monkeypatch):
+    """Artifacts outlive the registry: a renamed/retired scenario's history
+    must still trend (formerly a KeyError), and a pattern matching nothing
+    anywhere is noted and skipped rather than failing the whole report."""
+    scenario = register_scenario(ScenarioConfig(
+        id="retired_trend_scenario",
+        description="test-only",
+        kind="weight_sync",
+        systems=("laminar",),
+        model_size="32B",
+        gpu_scales=(128,),
+        iterations=1,
+        warmup=0,
+        timeout_s=60.0,
+        tags=("test-only",),
+    ))
+    try:
+        results = run_scenarios([scenario])
+        save_artifact(results, str(tmp_path / "BENCH_retired.json"),
+                      configs=[scenario])
+    finally:
+        unregister_scenario(scenario.id)
+    monkeypatch.chdir(tmp_path)
+
+    # Unfiltered: the retired scenario's history renders from the artifact.
+    assert bench_main(["trend", "--no-git-history"]) == 0
+    assert "retired_trend_scenario" in capsys.readouterr().out
+
+    # Filtered by the retired id: resolves against the history ids.
+    assert bench_main(["trend", "--no-git-history",
+                       "--scenario", "retired_trend_scenario"]) == 0
+    assert "retired_trend_scenario" in capsys.readouterr().out
+
+    # An unknown pattern alongside a real one: noted and skipped.
+    assert bench_main(["trend", "--no-git-history",
+                       "--scenario", "retired_trend_scenario",
+                       "--scenario", "no_such_scenario_xyz"]) == 0
+    out = capsys.readouterr().out
+    assert "no_such_scenario_xyz" in out and "skipping" in out
+    assert "retired_trend_scenario" in out
+
+    # Only unknown patterns: clean empty report, exit 0.
+    assert bench_main(["trend", "--no-git-history",
+                       "--scenario", "no_such_scenario_xyz"]) == 0
+    assert "no history" in capsys.readouterr().out
+
+
 # --------------------------------------------------------------------------- bisect
 def test_largest_step_finds_the_biggest_move_and_its_revisions():
     snapshots = [

@@ -297,6 +297,140 @@ def test_kvcache_batch_ops_match_scalar_loop():
             assert freed_a == freed_b
 
 
+def test_decode_step_time_many_matches_scalar():
+    """The vectorized roofline prices every lane bit-identically."""
+    rng = np.random.default_rng(7)
+    batches = rng.integers(0, 64, size=256).astype(np.int64)
+    contexts = rng.integers(0, 8192, size=256).astype(np.int64)
+    contexts[0] = 0  # exercise the max(1, ctx) clamp
+    batches[1] = 0   # and the empty-batch zero
+    many = DECODE_MODEL.decode_step_time_many(batches, np.maximum(1, contexts))
+    for batch, context, fused in zip(batches, np.maximum(1, contexts), many):
+        assert fused == DECODE_MODEL.decode_step_time(int(batch), int(context))
+
+
+# --------------------------------------------------------------------------- batch views
+def make_view_fleet(seed: int, lanes):
+    """Mirrored scalar/vector replica lists; ``lanes`` gives per-lane slowdowns.
+
+    A lane with a slowdown factor other than 1.0 is ineligible for fusion and
+    must route through the per-replica fallback — the fused and fallback
+    paths are exercised side by side.
+    """
+    scalars, vectors = [], []
+    for replica_id, slowdown in enumerate(lanes):
+        scalar, vector = make_engines(blocks=384, max_concurrency=24)
+        scalar.add_sequences(make_states(seed * 131 + replica_id, 10,
+                                         1000 * replica_id))
+        vector.add_sequences(make_states(seed * 131 + replica_id, 10,
+                                         1000 * replica_id))
+        if slowdown != 1.0:
+            scalar.set_slowdown(decode=slowdown)
+            vector.set_slowdown(decode=slowdown)
+        scalars.append(scalar)
+        vectors.append(vector)
+    return scalars, vectors
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_batch_view_fuzz_is_bit_identical(seed):
+    """ReplicaBatchView vs the scalar per-replica router, round for round.
+
+    Each round stacks a fresh view over both fleets, asks a random member
+    subset for its next event, advances a random stretch of it through the
+    grouped kernels, settles, and compares every engine field bit for bit.
+    """
+    from repro.rollout import ReplicaBatchView, ScalarReplicaBatchView
+
+    lanes = (1.0, 1.0, 1.5, 1.0, 1.0)  # lane 2 straggles: permanent fallback
+    scalars, vectors = make_view_fleet(seed, lanes)
+    op_rng = np.random.default_rng(9000 + seed)
+    next_id = 50_000
+
+    for round_no in range(40):
+        count = int(op_rng.integers(1, len(lanes) + 1))
+        positions = sorted(
+            int(i) for i in op_rng.choice(len(lanes), size=count, replace=False)
+        )
+        scalar_view = ScalarReplicaBatchView(scalars)
+        vector_view = ReplicaBatchView(vectors)
+        assert not scalar_view.lane_is_fused(2)
+        assert not vector_view.lane_is_fused(2)
+        scalar_deltas = scalar_view.next_event_in_many(positions)
+        vector_deltas = vector_view.next_event_in_many(positions)
+        assert scalar_deltas == vector_deltas
+        stretch = float(op_rng.uniform(0.3, 1.7))
+        advance_pos, dts = [], []
+        for position, delta in zip(positions, scalar_deltas):
+            if delta is not None:
+                advance_pos.append(position)
+                dts.append(delta * stretch)
+        scalar_done = scalar_view.advance_many(advance_pos, dts)
+        vector_done = vector_view.advance_many(advance_pos, dts)
+        scalar_view.settle()
+        vector_view.settle()
+        for s_done, v_done in zip(scalar_done, vector_done):
+            assert_completions_identical(s_done, v_done)
+        for scalar, vector in zip(scalars, vectors):
+            assert_engines_identical(scalar, vector)
+        if round_no % 7 == 6:  # fresh work lands between rounds
+            lane = int(op_rng.integers(0, len(lanes)))
+            scalars[lane].add_sequences(make_states(seed + round_no, 3, next_id))
+            vectors[lane].add_sequences(make_states(seed + round_no, 3, next_id))
+            next_id += 3
+
+    # Drain to empty through the views and compare the epilogue.
+    while any(r.num_sequences for r in scalars):
+        positions = [i for i, r in enumerate(scalars) if r.num_sequences]
+        scalar_view = ScalarReplicaBatchView(scalars)
+        vector_view = ReplicaBatchView(vectors)
+        scalar_deltas = scalar_view.next_event_in_many(positions)
+        vector_deltas = vector_view.next_event_in_many(positions)
+        assert scalar_deltas == vector_deltas
+        advance_pos = [p for p, d in zip(positions, scalar_deltas) if d is not None]
+        dts = [d for d in scalar_deltas if d is not None]
+        if not advance_pos:
+            break
+        scalar_done = scalar_view.advance_many(advance_pos, dts)
+        vector_done = vector_view.advance_many(advance_pos, dts)
+        scalar_view.settle()
+        vector_view.settle()
+        for s_done, v_done in zip(scalar_done, vector_done):
+            assert_completions_identical(s_done, v_done)
+    for scalar, vector in zip(scalars, vectors):
+        assert_engines_identical(scalar, vector)
+
+
+def test_batch_view_interleaves_with_direct_stepping():
+    """A settled view hands the engines back intact: direct advance calls
+    between view rounds continue the same float chains."""
+    from repro.rollout import ReplicaBatchView, ScalarReplicaBatchView
+
+    scalars, vectors = make_view_fleet(11, (1.0, 1.0, 1.0))
+    for _ in range(10):
+        scalar_view = ScalarReplicaBatchView(scalars)
+        vector_view = ReplicaBatchView(vectors)
+        positions = [0, 1, 2]
+        scalar_deltas = scalar_view.next_event_in_many(positions)
+        vector_deltas = vector_view.next_event_in_many(positions)
+        assert scalar_deltas == vector_deltas
+        dts = [d * 0.9 for d in scalar_deltas]
+        scalar_view.advance_many(positions, dts)
+        vector_view.advance_many(positions, dts)
+        scalar_view.settle()
+        vector_view.settle()
+        # Direct per-replica stepping between view rounds.
+        for scalar, vector in zip(scalars, vectors):
+            delta_s, delta_v = scalar.next_event_in(), vector.next_event_in()
+            assert delta_s == delta_v
+            if delta_s is not None:
+                assert_completions_identical(
+                    scalar.advance(delta_s * 0.5), vector.advance(delta_v * 0.5)
+                )
+        for scalar, vector in zip(scalars, vectors):
+            assert_engines_identical(scalar, vector)
+
+
 def test_kvcache_rows_stay_valid_across_frees():
     from repro.sim import KVCache
 

@@ -29,7 +29,7 @@ from repro.rollout import (
     SequenceState,
     TurnSchedule,
 )
-from repro.runtime import generation_barrier, stepping, stepping_mode
+from repro.runtime import ReplicaFleet, generation_barrier, stepping, stepping_mode
 from repro.sim import Environment, KVCacheConfig
 from repro.systems import FailureEvent, FailureInjector, FailureKind, LaminarSystem, make_system
 from repro.types import Prompt, Trajectory
@@ -278,3 +278,251 @@ def test_chaos_storm_bit_identity(seed):
                        iters=4, plan=plan)
     assert_results_identical(reference, fleet)
     assert reference.iterations  # training survived the storm
+
+
+# --------------------------------------------------------------------------- pop_due_batch
+def test_pop_due_batch_ties_supersession_and_disarm():
+    """Exact-tie grouping over a heap laced with superseded/disarmed entries."""
+    import math
+
+    from repro.runtime.fleet import FleetState
+
+    state = FleetState()
+    for replica_id in range(6):
+        state.add_replica(replica_id)
+    at = 10.0 + 1e-3  # an inexact float: ties must match bit-for-bit anyway
+
+    state.schedule(0, at)          # stamp 0
+    state.schedule(1, at)          # stamp 1
+    state.schedule(2, at)          # stamp 2 — superseded below
+    state.schedule(3, at)          # stamp 3 — disarmed below
+    state.schedule(4, math.nextafter(at, math.inf))  # one ulp later: not a tie
+    state.schedule(2, at)          # stamp 5: member 2 re-armed, moves to FIFO back
+    state.clear(3)                 # member 3 disarmed: stale heap entry remains
+
+    # Nothing due before the tie instant.
+    assert state.pop_due_batch(math.nextafter(at, 0.0)) == []
+
+    # The tie group pops in (wake, stamp) order: 0, 1, then 2's re-arm stamp.
+    # Member 3's entry is skipped lazily; member 4 (one ulp later) stays armed.
+    assert state.pop_due_batch(at + 1.0) == [0, 1, 2]
+    assert all(math.isinf(state.wake[i]) for i in (0, 1, 2, 3))
+    assert not math.isinf(state.wake[4])
+
+    # The next batch is the one-ulp-later singleton.
+    assert state.pop_due_batch(at + 1.0) == [4]
+    assert state.pop_due_batch(at + 1.0) == []
+
+
+def test_pop_due_batch_matches_repeated_pop_due():
+    """Batch pops replay the exact (time, FIFO) sequence of single pops."""
+    import math
+
+    from repro.runtime.fleet import FleetState
+
+    rng = np.random.default_rng(42)
+    single, batch = FleetState(), FleetState()
+    for replica_id in range(12):
+        single.add_replica(replica_id)
+        batch.add_replica(replica_id)
+    times = [1.0, 1.0 + 2 ** -40, 2.5, 7.0 / 3.0]
+    for _ in range(60):
+        index = int(rng.integers(0, 12))
+        if rng.random() < 0.15:
+            single.clear(index)
+            batch.clear(index)
+        else:
+            at = float(rng.choice(times))
+            single.schedule(index, at)
+            batch.schedule(index, at)
+    now = 10.0
+    singles = []
+    while True:
+        index = single.pop_due(now)
+        if index is None:
+            break
+        singles.append(index)
+    batches = []
+    while True:
+        group = batch.pop_due_batch(now)
+        if not group:
+            break
+        # Every member of one batch shares one exact wake instant by contract.
+        batches.extend(group)
+    assert batches == singles
+    assert np.array_equal(single.wake[:12], batch.wake[:12])
+
+
+# --------------------------------------------------------------------------- grouped servicing
+@pytest.fixture
+def grouped_probe(monkeypatch):
+    """Instrument FleetStepper._service_group: count fused vs fallback paths."""
+    import repro.runtime.fleet as fleet_mod
+
+    record = {"groups": 0, "fused": 0, "fallback": 0, "max_group": 0}
+    original_group = fleet_mod.FleetStepper._service_group
+    original_view = fleet_mod.ReplicaBatchView
+    views = []
+
+    class RecordingView(original_view):
+        def __init__(self, replicas, fuse=True):
+            super().__init__(replicas, fuse=fuse)
+            views.append(self.all_fused)
+
+    def probed_group(self, replica_ids):
+        record["groups"] += 1
+        record["max_group"] = max(record["max_group"], len(replica_ids))
+        before = len(views)
+        original_group(self, replica_ids)
+        created = views[before:]
+        if created and created[0]:
+            record["fused"] += 1
+        else:
+            record["fallback"] += 1
+
+    monkeypatch.setattr(fleet_mod, "ReplicaBatchView", RecordingView)
+    monkeypatch.setattr(fleet_mod.FleetStepper, "_service_group", probed_group)
+    return record
+
+
+def tied_workload(seed: int, count: int, start_id: int):
+    """A workload whose *content* depends only on ``seed``.
+
+    Replicas loaded from the same seed (with disjoint id ranges) evolve
+    through identical float chains, so their wake-ups tie at the exact same
+    float instants — the grouped-kernel path's precondition.
+    """
+    rng = np.random.default_rng(seed)
+    states = []
+    for i in range(count):
+        num_turns = int(rng.integers(1, 4))
+        segments = [int(rng.integers(5, 120)) for _ in range(num_turns)]
+        env_latencies = [float(rng.uniform(0.5, 10.0)) for _ in range(num_turns - 1)]
+        env_latencies.append(0.0)
+        prompt = Prompt(prompt_id=start_id + i, group_id=0,
+                        prompt_tokens=int(rng.integers(16, 64)))
+        trajectory = Trajectory(traj_id=start_id + i, prompt=prompt,
+                                target_tokens=sum(segments))
+        states.append(SequenceState(
+            trajectory=trajectory,
+            schedule=TurnSchedule(segments=segments, env_latencies=env_latencies),
+        ))
+    return states
+
+
+class _ToyFleet(ReplicaFleet):
+    """Minimal continuous fleet: fixed members, recorded completions, and a
+    bounded per-member refill budget so drained members park and the run
+    terminates on its own."""
+
+    def __init__(self, env, replicas, refill_batches=0, refill_count=4):
+        super().__init__(env)
+        self._by_id = {r.replica_id: r for r in replicas}
+        self._refills_left = {r.replica_id: refill_batches for r in replicas}
+        self._refill_count = refill_count
+        self.events = []
+
+    def replica(self, replica_id):
+        return self._by_id.get(replica_id)
+
+    def refill(self, replica):
+        left = self._refills_left[replica.replica_id]
+        if left <= 0:
+            return
+        self._refills_left[replica.replica_id] = left - 1
+        # Same content seed for every member: refilled cohorts re-tie.
+        replica.add_sequences(tied_workload(
+            7000 + left, self._refill_count,
+            100_000 * (replica.replica_id + 1) + 100 * left,
+        ))
+
+    def on_advance(self, replica, completed):
+        for trajectory in completed:
+            self.events.append((
+                self.env.now, replica.replica_id, trajectory.traj_id,
+                trajectory.finish_time, trajectory.generated_tokens,
+                trajectory.turns_done,
+            ))
+
+
+def run_toy_fleet(mode: str, workload_seeds, refill_batches=0, blocks=512,
+                  slowdowns=()):
+    """Drive a synthetic continuous fleet to quiescence under one mode."""
+    with stepping(mode):
+        env = Environment()
+        replicas = []
+        for replica_id, seed in enumerate(workload_seeds):
+            replica = ReplicaGenerationState(
+                replica_id=replica_id,
+                decode_model=DECODE_MODEL,
+                kvcache_config=KVCacheConfig(total_blocks=blocks),
+                max_concurrency=16,
+            )
+            replica.add_sequences(tied_workload(seed, 8, 1000 * (replica_id + 1)))
+            replicas.append(replica)
+        for replica_id, factor in slowdowns:
+            replicas[replica_id].set_slowdown(decode=factor)
+        fleet = _ToyFleet(env, replicas, refill_batches=refill_batches)
+        for replica in replicas:
+            fleet.spawn(replica.replica_id)
+        env.run()
+        return {
+            "events": fleet.events,
+            "clocks": [r.clock for r in replicas],
+            "stats": [r.stats for r in replicas],
+            "kv": [(r.kvcache.used_blocks, r.kvcache.peak_blocks)
+                   for r in replicas],
+        }
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_grouped_service_exact_ties_bit_identity(grouped_probe, seed):
+    """Identical members wake at exact float ties: whole cohorts must be
+    serviced through the grouped kernel and still match process mode."""
+    reference = run_toy_fleet("process", [seed] * 4, refill_batches=2)
+    fleet = run_toy_fleet("fleet", [seed] * 4, refill_batches=2)
+    assert fleet == reference
+    assert grouped_probe["fused"] >= 1  # the fused cohort path actually ran
+    assert grouped_probe["max_group"] >= 2
+
+
+@pytest.mark.parametrize("seed", range(2))
+def test_grouped_mixed_ties_and_singles_bit_identity(grouped_probe, seed):
+    """Tied twins interleaved with unique members: groups and singles mix."""
+    reference = run_toy_fleet("process", [seed, seed, seed + 50, seed + 60],
+                              refill_batches=1)
+    fleet = run_toy_fleet("fleet", [seed, seed, seed + 50, seed + 60],
+                          refill_batches=1)
+    assert fleet == reference
+    assert grouped_probe["fused"] >= 1
+
+
+@pytest.mark.parametrize("seed", range(2))
+def test_grouped_fallback_queued_lanes_bit_identity(grouped_probe, seed):
+    """A KV pool too small for the cohort leaves waiting queues on every
+    member: the view refuses to fuse and the group degroups, identically."""
+    reference = run_toy_fleet("process", [seed] * 4, blocks=64)
+    fleet = run_toy_fleet("fleet", [seed] * 4, blocks=64)
+    assert fleet == reference
+    assert grouped_probe["groups"] >= 1
+    assert grouped_probe["fallback"] >= 1  # degrouping actually happened
+
+
+def test_grouped_fallback_slowdown_bit_identity(grouped_probe):
+    """Straggling members are unfusable; a tied cohort of them degroups."""
+    reference = run_toy_fleet("process", [3] * 4,
+                              slowdowns=((0, 2.0), (1, 2.0), (2, 2.0), (3, 2.0)))
+    fleet = run_toy_fleet("fleet", [3] * 4,
+                          slowdowns=((0, 2.0), (1, 2.0), (2, 2.0), (3, 2.0)))
+    assert fleet == reference
+    assert grouped_probe["groups"] >= 1
+    assert grouped_probe["fallback"] >= 1
+
+
+def test_grouped_refill_waits_bit_identity(grouped_probe):
+    """Members that drain early park on the refill signal mid-run; later
+    refills revive them and the revived cohort re-ties."""
+    reference = run_toy_fleet("process", [9] * 3, refill_batches=3)
+    fleet = run_toy_fleet("fleet", [9] * 3, refill_batches=3)
+    assert fleet == reference
+    assert grouped_probe["fused"] >= 1
